@@ -1,0 +1,188 @@
+(* Benchmark / reproduction harness.
+
+   Usage:
+     bench/main.exe                 -- every table & figure, then kernels
+     bench/main.exe <exhibit>        -- one of: fig2 table1 fig3 scenarios
+                                        razor fig4 table2 fig5 fig6 energy
+                                        validate ablation clocktree crosscheck
+                                        alternatives powergrid workloads
+                                        postsilicon
+     bench/main.exe kernels         -- Bechamel micro-benchmarks only
+     bench/main.exe --quick ...     -- scaled-down design (fast smoke run)
+
+   One Bechamel Test.make per table/figure kernel: the measured loop is
+   the computational core that regenerates that exhibit (field eval for
+   Fig. 2, an STA pass for Table 1's timing, a Monte-Carlo sample for
+   Fig. 3 / §4.4, a corner compensation check for Fig. 4, crossing
+   analysis for Table 2, and a power pass for Figs. 5-6). *)
+
+module Experiments = Pvtol_core.Experiments
+module Flow = Pvtol_core.Flow
+module Island = Pvtol_core.Island
+module Slicing = Pvtol_core.Slicing
+module Level_shifter = Pvtol_core.Level_shifter
+module Sta = Pvtol_timing.Sta
+module Sampler = Pvtol_variation.Sampler
+module Field = Pvtol_variation.Field
+module Position = Pvtol_variation.Position
+module Power = Pvtol_power.Power
+module Gatesim = Pvtol_power.Gatesim
+module Srng = Pvtol_util.Srng
+
+let ctx = ref None
+
+let context ~quick () =
+  match !ctx with
+  | Some c -> c
+  | None ->
+    let config = if quick then Flow.quick_config else Flow.default_config in
+    Printf.printf "[preparing design flow%s...]\n%!" (if quick then " (quick)" else "");
+    let c = Experiments.make_context ~config () in
+    ctx := Some c;
+    c
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel kernels                                                     *)
+
+let kernels ~quick () =
+  let open Bechamel in
+  let open Toolkit in
+  let c = context ~quick () in
+  let t = c.Experiments.flow in
+  let sta = t.Flow.sta in
+  let base = Sta.nominal_delays sta in
+  let sampler = t.Flow.sampler in
+  let placement = t.Flow.placement in
+  let systematic = Sampler.systematic_lgates sampler placement Position.point_a in
+  let n = Array.length base in
+  let lgates = Array.make n 0.0 in
+  let delays = Array.make n 0.0 in
+  let rng = Srng.create 99 in
+  let low =
+    t.Flow.netlist.Pvtol_netlist.Netlist.lib.Pvtol_stdcell.Cell.process
+      .Pvtol_stdcell.Process.vdd_low
+  in
+  let field = Field.default in
+  let tests =
+    [
+      Test.make ~name:"fig2/field-eval-4096"
+        (Staged.stage (fun () ->
+             let acc = ref 0.0 in
+             for i = 0 to 63 do
+               for j = 0 to 63 do
+                 acc :=
+                   !acc
+                   +. Field.systematic_nm field
+                        ~x_mm:(float_of_int i /. 4.0)
+                        ~y_mm:(float_of_int j /. 4.0)
+               done
+             done;
+             ignore !acc));
+      Test.make ~name:"table1/sta-pass"
+        (Staged.stage (fun () -> ignore (Sta.analyze sta ~delays:base)));
+      Test.make ~name:"fig3/mc-sample"
+        (Staged.stage (fun () ->
+             Sampler.sample_lgates sampler ~systematic rng lgates;
+             Sampler.scale_delays sampler ~base ~lgates ~vdd:(fun _ -> low)
+               ~out:delays;
+             ignore (Sta.analyze sta ~delays)));
+      Test.make ~name:"fig4/corner-check"
+        (Staged.stage (fun () ->
+             for i = 0 to n - 1 do
+               delays.(i) <-
+                 base.(i)
+                 *. Slicing.corner_scale ~sampler ~systematic ~corner_kappa:0.35
+                      ~vdd:(fun _ -> low)
+                      i
+             done;
+             ignore (Sta.analyze sta ~delays)));
+      Test.make ~name:"table2/crossing-analysis"
+        (Staged.stage (fun () ->
+             ignore
+               (Level_shifter.count_crossings
+                  c.Experiments.vertical.Flow.slicing.Slicing.partition
+                  placement t.Flow.netlist)));
+      Test.make ~name:"fig5-6/power-pass"
+        (Staged.stage (fun () ->
+             ignore
+               (Power.analyze
+                  ~vdd:(fun _ -> low)
+                  ~activity:t.Flow.activity
+                  ~wire_length:(fun nid ->
+                    Pvtol_place.Placement.wire_length placement nid)
+                  ~clock_ns:t.Flow.clock t.Flow.netlist)));
+      Test.make ~name:"gatesim/cycle"
+        (Staged.stage (fun () ->
+             ignore
+               (Gatesim.run ~cycles:1 t.Flow.netlist
+                  (Gatesim.random_stimulus ~seed:5))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let instances = [ Instance.monotonic_clock ] in
+  Printf.printf "\nKernel micro-benchmarks (Bechamel):\n%!";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some (est :: _) -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let exhibits =
+  [
+    ("fig2", fun _c -> Experiments.fig2_lgate_map ());
+    ("table1", fun c -> Experiments.table1_breakdown c.Experiments.flow);
+    ("fig3", fun c -> Experiments.fig3_distributions c.Experiments.flow);
+    ("scenarios", fun c -> Experiments.scenarios_summary c.Experiments.flow);
+    ("razor", fun c -> Experiments.razor_sites c.Experiments.flow);
+    ("fig4", Experiments.fig4_islands);
+    ("table2", Experiments.table2_level_shifters);
+    ("fig5", Experiments.fig5_total_power);
+    ("fig6", Experiments.fig6_leakage);
+    ("energy", Experiments.energy_note);
+    ("validate", Experiments.compensation_check);
+    ("ablation", Experiments.grouping_ablation);
+    ("alternatives", Experiments.alternatives_comparison);
+    ("crosscheck", Experiments.ssta_crosscheck);
+    ("clocktree", Experiments.clock_tree_note);
+    ("routing", Experiments.routing_note);
+    ("powergrid", Experiments.power_integrity);
+    ("workloads", Experiments.workload_sensitivity);
+    ("postsilicon", Experiments.postsilicon_study);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  match args with
+  | [] ->
+    let c = context ~quick () in
+    print_string (Experiments.all c);
+    kernels ~quick ()
+  | [ "kernels" ] -> kernels ~quick ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name exhibits with
+        | Some f ->
+          let c = context ~quick () in
+          print_string (f c);
+          print_newline ()
+        | None ->
+          Printf.eprintf
+            "unknown exhibit %S (try: %s, kernels)\n" name
+            (String.concat ", " (List.map fst exhibits));
+          exit 1)
+      names

@@ -1,0 +1,173 @@
+(* pvtol — command-line driver for the process-variation-tolerant
+   voltage-island design flow.  One subcommand per paper exhibit, plus
+   the full flow, design-file dumps and kernel information. *)
+
+module Experiments = Pvtol_core.Experiments
+module Flow = Pvtol_core.Flow
+module Vex_core = Pvtol_vex.Vex_core
+module Netlist = Pvtol_netlist.Netlist
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                       *)
+
+let quick =
+  let doc = "Use the scaled-down design and sample counts (fast)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let samples =
+  let doc = "Monte-Carlo sample count (default from the configuration)." in
+  Arg.(value & opt (some int) None & info [ "samples" ] ~doc)
+
+let seed =
+  let doc = "Random seed for the Monte-Carlo and stimulus streams." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
+
+let config_of ~quick ~samples ~seed =
+  let base = if quick then Flow.quick_config else Flow.default_config in
+  let base =
+    match samples with Some s -> { base with Flow.mc_samples = s } | None -> base
+  in
+  match seed with Some s -> { base with Flow.mc_seed = s } | None -> base
+
+let context ~quick ~samples ~seed =
+  Experiments.make_context ~config:(config_of ~quick ~samples ~seed) ()
+
+(* ------------------------------------------------------------------ *)
+(* Exhibit subcommands                                                  *)
+
+let exhibit_cmd name doc render =
+  let run quick samples seed =
+    print_string (render (context ~quick ~samples ~seed))
+  in
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(const run $ quick $ samples $ seed)
+
+let flow_only_cmd name doc render =
+  let run quick samples seed =
+    let t = Flow.prepare ~config:(config_of ~quick ~samples ~seed) () in
+    print_string (render t)
+  in
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(const run $ quick $ samples $ seed)
+
+let fig2_cmd =
+  let run () = print_string (Experiments.fig2_lgate_map ()) in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Systematic Lgate map over the chip (Fig. 2).")
+    Term.(const run $ const ())
+
+let cmds_exhibits =
+  [
+    fig2_cmd;
+    flow_only_cmd "table1" "Area/power breakdown of the VEX design (Table 1)."
+      Experiments.table1_breakdown;
+    flow_only_cmd "fig3"
+      "Per-stage critical-path slack distributions at point A (Fig. 3)."
+      Experiments.fig3_distributions;
+    flow_only_cmd "scenarios"
+      "Timing-violation scenarios along the chip diagonal (section 4.4)."
+      Experiments.scenarios_summary;
+    flow_only_cmd "razor" "Razor sensing-site selection (section 4.4)."
+      Experiments.razor_sites;
+    exhibit_cmd "fig4" "Voltage-island generation, both slicings (Fig. 4)."
+      Experiments.fig4_islands;
+    exhibit_cmd "table2" "Level-shifter overhead (Table 2)."
+      Experiments.table2_level_shifters;
+    exhibit_cmd "fig5" "Total power per violation scenario (Fig. 5)."
+      Experiments.fig5_total_power;
+    exhibit_cmd "fig6" "Leakage power per violation scenario (Fig. 6)."
+      Experiments.fig6_leakage;
+    exhibit_cmd "energy" "Energy ratios including the VI slowdown (section 5)."
+      Experiments.energy_note;
+    exhibit_cmd "validate"
+      "Monte-Carlo check that every scenario is compensated."
+      Experiments.compensation_check;
+    exhibit_cmd "ablation"
+      "Cell-grouping strategy ablation (placement-aware vs logic-based)."
+      Experiments.grouping_ablation;
+    exhibit_cmd "clocktree"
+      "Clock-tree synthesis and the ideal-clock assumption check."
+      Experiments.clock_tree_note;
+    exhibit_cmd "crosscheck"
+      "Analytic (Clark) SSTA vs Monte-Carlo cross-validation."
+      Experiments.ssta_crosscheck;
+    exhibit_cmd "alternatives"
+      "Compensation alternatives of section 1 (guard-band, retiming, AVS, ABB, islands)."
+      Experiments.alternatives_comparison;
+    exhibit_cmd "routing"
+      "Global routing: estimate vs routed wirelength and congestion."
+      Experiments.routing_note;
+    exhibit_cmd "powergrid"
+      "IR-drop feasibility of each grouping strategy's supply network."
+      Experiments.power_integrity;
+    exhibit_cmd "workloads"
+      "Workload sensitivity of the power comparison (5 verified benchmarks)."
+      Experiments.workload_sensitivity;
+    exhibit_cmd "postsilicon"
+      "Detect-and-compensate study over a sampled chip population."
+      Experiments.postsilicon_study;
+    exhibit_cmd "all" "Every table and figure, in paper order."
+      Experiments.all;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Design-file dumps                                                    *)
+
+let outdir =
+  let doc = "Directory to write design files into." in
+  Arg.(value & opt string "." & info [ "o"; "outdir" ] ~doc)
+
+let dump_cmd =
+  let run quick outdir =
+    let config = if quick then Flow.quick_config else Flow.default_config in
+    let t = Flow.prepare ~config () in
+    let nl = t.Flow.netlist in
+    let path name = Filename.concat outdir name in
+    Pvtol_stdcell.Liberty.write_file (path "pvtol65lp.lib") nl.Netlist.lib;
+    Pvtol_place.Def.write_file (path "vex.def") t.Flow.placement;
+    let delays = Pvtol_timing.Sta.nominal_delays t.Flow.sta in
+    Pvtol_timing.Sdf.write_file (path "vex.sdf") nl ~delays;
+    Pvtol_netlist.Verilog.write_file (path "vex.v") nl;
+    Pvtol_timing.Spef.write_file (path "vex.spef") nl
+      (Pvtol_timing.Spef.extract t.Flow.placement);
+    Printf.printf
+      "wrote %s, %s, %s, %s and %s\n(design: %d cells, clock %.3f ns)\n"
+      (path "pvtol65lp.lib") (path "vex.def") (path "vex.sdf") (path "vex.v")
+      (path "vex.spef")
+      (Netlist.cell_count nl) t.Flow.clock
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Run the front-end flow and write the Liberty library, DEF \
+          placement, SDF delays, structural Verilog and SPEF parasitics \
+          of the prepared design.")
+    Term.(const run $ quick $ outdir)
+
+let summary_cmd =
+  let run quick =
+    let config = if quick then Flow.quick_config else Flow.default_config in
+    let t = Flow.prepare ~config () in
+    Format.printf "%a" Netlist.pp_summary t.Flow.netlist;
+    Format.printf "clock: %.3f ns (%.1f MHz)@." t.Flow.clock (1000.0 /. t.Flow.clock);
+    List.iter
+      (fun sc -> Format.printf "%a" Pvtol_ssta.Scenario.pp sc)
+      (t.Flow.scenarios ())
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Prepared-design summary and scenario ladder.")
+    Term.(const run $ quick)
+
+let main =
+  let doc =
+    "process-variation tolerant pipeline design through placement-aware \
+     multiple voltage islands (DATE 2008 reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "pvtol" ~version:"1.0.0" ~doc)
+    (cmds_exhibits @ [ dump_cmd; summary_cmd ])
+
+let () = exit (Cmd.eval main)

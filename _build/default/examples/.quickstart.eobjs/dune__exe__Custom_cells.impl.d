@@ -1,0 +1,1 @@
+examples/custom_cells.ml: Format List Pvtol_stdcell String

@@ -1,0 +1,1 @@
+examples/design_files.ml: Array Float Format List Pvtol_core Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_timing Pvtol_variation Pvtol_vex String

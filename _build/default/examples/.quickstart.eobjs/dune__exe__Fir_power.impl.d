@@ -1,0 +1,1 @@
+examples/fir_power.ml: Array Format List Printf Pvtol_netlist Pvtol_place Pvtol_power Pvtol_timing Pvtol_vex Pvtol_vexsim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Pvtol_core Pvtol_netlist Pvtol_power Pvtol_ssta Pvtol_variation

@@ -1,0 +1,1 @@
+examples/scenario_sweep.ml: Float Format List Pvtol_core Pvtol_netlist Pvtol_ssta Pvtol_variation String

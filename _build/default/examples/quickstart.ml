@@ -1,0 +1,66 @@
+(* Quickstart: run the whole methodology end to end on the scaled-down
+   core and print what each step produced.
+
+     dune exec examples/quickstart.exe
+
+   Steps (paper Fig. 1): generate + place + size the design, inject
+   process variation via Monte-Carlo SSTA, classify the violation
+   scenarios along the chip diagonal, grow nested voltage islands by
+   vertical slicing, insert level shifters, and compare total power
+   against chip-wide supply adaptation. *)
+
+module Flow = Pvtol_core.Flow
+module Island = Pvtol_core.Island
+module Slicing = Pvtol_core.Slicing
+module Level_shifter = Pvtol_core.Level_shifter
+module Power = Pvtol_power.Power
+module Scenario = Pvtol_ssta.Scenario
+module Netlist = Pvtol_netlist.Netlist
+
+let () =
+  (* 1. Front half of the flow: design, placement, timing closure,
+        switching activity, Monte-Carlo SSTA (memoized per position). *)
+  let t = Flow.prepare ~config:Flow.quick_config () in
+  Format.printf "Design: %a" Netlist.pp_summary t.Flow.netlist;
+  Format.printf "Nominal clock: %.3f ns (%.1f MHz)@.@." t.Flow.clock
+    (1000.0 /. t.Flow.clock);
+
+  (* 2. Violation scenarios at the named die positions A-D. *)
+  List.iter (fun sc -> Format.printf "%a" Scenario.pp sc) (t.Flow.scenarios ());
+
+  (* 3. Back half: islands + level shifters for one slicing direction. *)
+  let v = Flow.variant t Island.Vertical in
+  let part = v.Flow.slicing.Slicing.partition in
+  Format.printf "@.Voltage islands (vertical slicing):@.";
+  Array.iter
+    (fun (isl : Island.t) ->
+      Format.printf "  VI%d covers %.0f%% of the core (%d cells)@."
+        isl.Island.index
+        (100.0 *. Island.area_fraction part isl.Island.index)
+        (Array.length isl.Island.cells))
+    part.Island.islands;
+  Format.printf "  level shifters inserted: %d (%.1f%% of core area)@."
+    v.Flow.shifted.Level_shifter.count
+    (100.0 *. v.Flow.shifted.Level_shifter.ls_area_frac);
+  Format.printf "  post-insertion performance degradation: %.1f%%@.@."
+    (100.0 *. v.Flow.degradation);
+
+  (* 4. Power: chip-wide adaptation vs the island configurations. *)
+  let chip =
+    Power.total_mw (Flow.power_at t Flow.Chip_wide_high).Power.total
+  in
+  Format.printf "Chip-wide 1.2V power: %.2f mW@." chip;
+  List.iter
+    (fun (raised, pos) ->
+      let p =
+        Power.total_mw
+          (Flow.power_at t ~position:pos (Flow.Islands (v, raised))).Power.total
+      in
+      Format.printf "  %d island(s) raised at %s: %.2f mW (%+.1f%% vs chip-wide)@."
+        raised pos.Pvtol_variation.Position.label p
+        (100.0 *. (p /. chip -. 1.0)))
+    [
+      (3, Pvtol_variation.Position.point_a);
+      (2, Pvtol_variation.Position.point_b);
+      (1, Pvtol_variation.Position.point_c);
+    ]

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Hashtbl Island Level_shifter List Netlist Pvtol_netlist Pvtol_place Pvtol_power Pvtol_ssta Pvtol_stdcell Pvtol_timing Pvtol_variation Pvtol_vex Pvtol_vexsim Slicing Stage

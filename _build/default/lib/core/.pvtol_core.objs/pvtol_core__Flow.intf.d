@@ -1,0 +1,1 @@
+lib/core/flow.mli: Island Level_shifter Netlist Pvtol_netlist Pvtol_place Pvtol_power Pvtol_ssta Pvtol_timing Pvtol_variation Pvtol_vex Pvtol_vexsim Slicing

@@ -1,0 +1,1 @@
+lib/core/island.ml: Array Netlist Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_util

@@ -1,0 +1,1 @@
+lib/core/island.mli: Netlist Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_util

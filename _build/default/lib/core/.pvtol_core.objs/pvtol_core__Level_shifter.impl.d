@@ -1,0 +1,1 @@
+lib/core/level_shifter.ml: Array Hashtbl Island List Netlist Option Printf Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_util

@@ -1,0 +1,1 @@
+lib/core/level_shifter.mli: Island Netlist Pvtol_netlist Pvtol_place

@@ -1,0 +1,1 @@
+lib/core/logic_grouping.ml: Array Hashtbl List Netlist Option Printf Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_timing Pvtol_util Pvtol_variation Slicing Stage

@@ -1,0 +1,1 @@
+lib/core/logic_grouping.mli: Netlist Pvtol_netlist Pvtol_place Pvtol_timing Pvtol_variation Slicing

@@ -1,0 +1,1 @@
+lib/core/postsilicon.ml: Array Flow Format Island List Netlist Pvtol_netlist Pvtol_place Pvtol_power Pvtol_stdcell Pvtol_timing Pvtol_util Pvtol_variation Slicing Stage

@@ -1,0 +1,1 @@
+lib/core/postsilicon.mli: Flow Format

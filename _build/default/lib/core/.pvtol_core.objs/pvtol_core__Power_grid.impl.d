@@ -1,0 +1,1 @@
+lib/core/power_grid.ml: Array Float List Pvtol_place Pvtol_util Stack

@@ -1,0 +1,1 @@
+lib/core/power_grid.mli: Pvtol_netlist Pvtol_place

@@ -1,0 +1,1 @@
+lib/core/retiming.ml: Float List Pvtol_netlist Stage

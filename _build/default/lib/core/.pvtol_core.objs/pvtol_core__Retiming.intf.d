@@ -1,0 +1,1 @@
+lib/core/retiming.mli: Pvtol_netlist Stage

@@ -1,0 +1,1 @@
+lib/core/slicing.ml: Array Island List Netlist Printf Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_timing Pvtol_util Pvtol_variation Stage

@@ -1,0 +1,1 @@
+lib/core/slicing.mli: Island Netlist Pvtol_netlist Pvtol_place Pvtol_timing Pvtol_variation

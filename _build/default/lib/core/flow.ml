@@ -1,0 +1,256 @@
+open Pvtol_netlist
+module Vex_core = Pvtol_vex.Vex_core
+module Floorplan = Pvtol_place.Floorplan
+module Placer = Pvtol_place.Placer
+module Placement = Pvtol_place.Placement
+module Sta = Pvtol_timing.Sta
+module Sizing = Pvtol_timing.Sizing
+module Sampler = Pvtol_variation.Sampler
+module Position = Pvtol_variation.Position
+module MC = Pvtol_ssta.Monte_carlo
+module Scenario = Pvtol_ssta.Scenario
+module Gatesim = Pvtol_power.Gatesim
+module Power = Pvtol_power.Power
+module Fir = Pvtol_vexsim.Fir
+
+type config = {
+  vex : Vex_core.config;
+  place_seed : int;
+  place_iterations : int;
+  utilization : float;
+      (** Initial row utilization.  Chosen below the paper's quoted
+          ~70% so that, after area recovery *adds back* the
+          level-shifter area (26-31% of the core, Table 2), the final
+          utilization lands near 70% and incremental placement stays
+          local. *)
+  mc_samples : int;
+  mc_seed : int;
+  gatesim_cycles : int;
+  fir_taps : int;
+  fir_samples : int;
+  corner_kappa : float;
+}
+
+let default_config =
+  {
+    vex = Vex_core.default_config;
+    place_seed = 1;
+    place_iterations = 48;
+    utilization = 0.48;
+    mc_samples = 400;
+    mc_seed = 2024;
+    gatesim_cycles = 512;
+    fir_taps = 16;
+    fir_samples = 64;
+    corner_kappa = 0.35;
+  }
+
+let quick_config =
+  {
+    default_config with
+    vex = Vex_core.small_config;
+    place_iterations = 24;
+    mc_samples = 120;
+    gatesim_cycles = 128;
+    fir_taps = 8;
+    fir_samples = 16;
+  }
+
+type t = {
+  config : config;
+  design : Vex_core.t;
+  netlist : Netlist.t;
+  placement : Placement.t;
+  sta : Sta.t;
+  clock : float;
+  sizing : Sizing.report;
+  sampler : Sampler.t;
+  fir : Fir.result;
+  activity : Gatesim.activity;
+  mc : Position.t -> MC.result;
+  scenarios : unit -> Scenario.t list;
+}
+
+let prepare ?(config = default_config) () =
+  let design = Vex_core.build config.vex in
+  let nl0 = design.Vex_core.netlist in
+  let fp =
+    Floorplan.create ~utilization:config.utilization
+      ~cell_area:(Netlist.area nl0) ()
+  in
+  let placement0 =
+    Placer.place ~iterations:config.place_iterations ~seed:config.place_seed
+      nl0 fp
+  in
+  let wire nid = Placement.wire_length placement0 nid in
+  let capture = design.Vex_core.capture_stage in
+  let sta0 = Sta.build nl0 ~wire_length:wire ~capture in
+  let r0 = Sta.analyze sta0 ~delays:(Sta.nominal_delays sta0) in
+  let initial_clock =
+    match Sta.stage_delay r0 Stage.Execute with
+    | Some d -> d
+    | None -> r0.Sta.worst
+  in
+  let sizing =
+    Sizing.fit ~clock:initial_clock ~frac:Sizing.balanced_fracs
+      ~wire_length:wire ~capture nl0
+  in
+  let netlist = sizing.Sizing.netlist in
+  let placement = { placement0 with Placement.netlist } in
+  let sta = Sta.build netlist ~wire_length:wire ~capture in
+  let r = Sta.analyze sta ~delays:(Sta.nominal_delays sta) in
+  (* The nominal clock is set by the execute-stage critical path, which
+     determines fmax (256 MHz in the paper's testbed). *)
+  let clock =
+    match Sta.stage_delay r Stage.Execute with
+    | Some d -> d
+    | None -> r.Sta.worst
+  in
+  let sampler = Sampler.create () in
+  let fir = Fir.run ~taps:config.fir_taps ~samples:config.fir_samples () in
+  let stim, _ =
+    Gatesim.trace_stimulus netlist ~instr_prefix:"instr"
+      ~words:fir.Fir.trace
+      ~fallback:(Gatesim.random_stimulus ~seed:(config.mc_seed + 1))
+  in
+  let activity = Gatesim.run ~cycles:config.gatesim_cycles netlist stim in
+  let mc_cache : (string, MC.result) Hashtbl.t = Hashtbl.create 8 in
+  let mc position =
+    let key = position.Position.label in
+    match Hashtbl.find_opt mc_cache key with
+    | Some r -> r
+    | None ->
+      let r =
+        MC.run
+          ~config:{ MC.samples = config.mc_samples; seed = config.mc_seed }
+          ~sampler ~sta ~placement ~position ()
+      in
+      Hashtbl.replace mc_cache key r;
+      r
+  in
+  let scenarios () =
+    List.map (fun pos -> Scenario.classify ~clock (mc pos)) Position.named
+  in
+  {
+    config;
+    design;
+    netlist;
+    placement;
+    sta;
+    clock;
+    sizing;
+    sampler;
+    fir;
+    activity;
+    mc;
+    scenarios;
+  }
+
+type variant = {
+  direction : Island.direction;
+  slicing : Slicing.outcome;
+  shifted : Level_shifter.t;
+  sta_shifted : Sta.t;
+  post_ls_worst : float;
+  degradation : float;
+  activity_shifted : Gatesim.activity;
+}
+
+(* Targets for island growth, least severe first: island 1 compensates
+   the single-stage scenario at C, island 2 the two-stage scenario at
+   B, island 3 the full corner A. *)
+let growth_targets =
+  [
+    { Slicing.scenario_index = 1; position = Position.point_c };
+    { Slicing.scenario_index = 2; position = Position.point_b };
+    { Slicing.scenario_index = 3; position = Position.point_a };
+  ]
+
+let variant t direction =
+  let slicing =
+    Slicing.generate ~corner_kappa:t.config.corner_kappa ~direction ~sta:t.sta
+      ~placement:t.placement ~sampler:t.sampler ~clock:t.clock
+      ~targets:growth_targets ()
+  in
+  let shifted =
+    Level_shifter.insert slicing.Slicing.partition t.placement t.netlist
+  in
+  let wire nid = Placement.wire_length shifted.Level_shifter.placement nid in
+  let capture = t.design.Vex_core.capture_stage in
+  (* Fig. 1's final step: incremental placement (done inside the
+     insertion) and timing closure — upsizing recovers the paths that
+     shifter insertion and cell displacement stretched.  Residual
+     violation shows up as the paper's post-insertion performance
+     degradation (8% vertical / 15% horizontal in their testbed). *)
+  let closure =
+    Pvtol_timing.Sizing.close_timing ~frac:Pvtol_timing.Sizing.balanced_fracs
+      ~clock:(t.clock *. 1.08) ~wire_length:wire ~capture
+      shifted.Level_shifter.netlist
+  in
+  let shifted =
+    { shifted with Level_shifter.netlist = closure.Pvtol_timing.Sizing.netlist }
+  in
+  let shifted =
+    {
+      shifted with
+      Level_shifter.placement =
+        {
+          shifted.Level_shifter.placement with
+          Placement.netlist = shifted.Level_shifter.netlist;
+        };
+    }
+  in
+  let sta_shifted =
+    Sta.build shifted.Level_shifter.netlist ~wire_length:wire ~capture
+  in
+  let r = Sta.analyze sta_shifted ~delays:(Sta.nominal_delays sta_shifted) in
+  let stim, _ =
+    Gatesim.trace_stimulus shifted.Level_shifter.netlist ~instr_prefix:"instr"
+      ~words:t.fir.Fir.trace
+      ~fallback:(Gatesim.random_stimulus ~seed:(t.config.mc_seed + 1))
+  in
+  let activity_shifted =
+    Gatesim.run ~cycles:t.config.gatesim_cycles shifted.Level_shifter.netlist stim
+  in
+  {
+    direction;
+    slicing;
+    shifted;
+    sta_shifted;
+    post_ls_worst = r.Sta.worst;
+    degradation = (r.Sta.worst -. t.clock) /. t.clock;
+    activity_shifted;
+  }
+
+type supply_config =
+  | Baseline_low
+  | Chip_wide_high
+  | Islands of variant * int
+
+let power_at t ?(position = Position.point_a) config =
+  let process = t.netlist.Netlist.lib.Pvtol_stdcell.Cell.process in
+  let low = process.Pvtol_stdcell.Process.vdd_low in
+  let high = process.Pvtol_stdcell.Process.vdd_high in
+  match config with
+  | Baseline_low | Chip_wide_high ->
+    let v = match config with Baseline_low -> low | _ -> high in
+    let systematic = Sampler.systematic_lgates t.sampler t.placement position in
+    Power.analyze
+      ~lgate_nm:(fun i -> systematic.(i))
+      ~vdd:(fun _ -> v)
+      ~activity:t.activity
+      ~wire_length:(fun nid -> Placement.wire_length t.placement nid)
+      ~clock_ns:t.clock t.netlist
+  | Islands (v, raised) ->
+    let shifted = v.shifted in
+    let systematic =
+      Sampler.systematic_lgates t.sampler shifted.Level_shifter.placement
+        position
+    in
+    Power.analyze
+      ~lgate_nm:(fun i -> systematic.(i))
+      ~vdd:(fun cid -> Level_shifter.vdd_assignment shifted ~raised cid)
+      ~activity:v.activity_shifted
+      ~wire_length:(fun nid ->
+        Placement.wire_length shifted.Level_shifter.placement nid)
+      ~clock_ns:t.clock shifted.Level_shifter.netlist

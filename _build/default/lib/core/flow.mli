@@ -1,0 +1,86 @@
+(** End-to-end methodology flow (paper Fig. 1).
+
+    [prepare] runs the front half once — target design generation,
+    placement, timing closure with area recovery (the
+    performance-optimized placed netlist the methodology takes as
+    input), FIR switching activity, Monte-Carlo SSTA per die position,
+    and violation-scenario classification.
+
+    [variant] then runs the back half for one slicing direction —
+    voltage-island generation, level-shifter insertion, incremental
+    placement and post-insertion timing — and [power_at] evaluates any
+    supply configuration of the result, which is all the §5 experiments
+    need. *)
+
+open Pvtol_netlist
+module Position := Pvtol_variation.Position
+
+type config = {
+  vex : Pvtol_vex.Vex_core.config;
+  place_seed : int;
+  place_iterations : int;
+  utilization : float;
+      (** Initial row utilization; below the paper's ~70% so the final
+          design (after level-shifter insertion, +26-31% area) lands
+          near 70% and incremental placement stays local. *)
+  mc_samples : int;
+  mc_seed : int;
+  gatesim_cycles : int;
+  fir_taps : int;
+  fir_samples : int;
+  corner_kappa : float;
+}
+
+val default_config : config
+(** The paper's design point: full-size VEX, 400 MC samples, 512
+    activity cycles, 16-tap/64-sample FIR. *)
+
+val quick_config : config
+(** Scaled-down core and sample counts for tests and examples. *)
+
+type t = {
+  config : config;
+  design : Pvtol_vex.Vex_core.t;
+  netlist : Netlist.t;                     (** after sizing *)
+  placement : Pvtol_place.Placement.t;
+  sta : Pvtol_timing.Sta.t;
+  clock : float;                           (** nominal period, ns *)
+  sizing : Pvtol_timing.Sizing.report;
+  sampler : Pvtol_variation.Sampler.t;
+  fir : Pvtol_vexsim.Fir.result;
+  activity : Pvtol_power.Gatesim.activity;
+  mc : Position.t -> Pvtol_ssta.Monte_carlo.result;  (** memoized *)
+  scenarios : unit -> Pvtol_ssta.Scenario.t list;    (** at A, B, C, D *)
+}
+
+val prepare : ?config:config -> unit -> t
+
+type variant = {
+  direction : Island.direction;
+  slicing : Slicing.outcome;
+  shifted : Level_shifter.t;
+  sta_shifted : Pvtol_timing.Sta.t;
+  post_ls_worst : float;        (** nominal worst delay after insertion *)
+  degradation : float;          (** (post_ls_worst - clock) / clock *)
+  activity_shifted : Pvtol_power.Gatesim.activity;
+}
+
+val variant : t -> Island.direction -> variant
+(** Deterministic; results should be cached by the caller (the
+    experiment harness memoizes both directions). *)
+
+type supply_config =
+  | Baseline_low      (** everything at 1.0V — the pre-compensation design *)
+  | Chip_wide_high    (** traditional full-chip adaptation: all at 1.2V *)
+  | Islands of variant * int
+      (** level-shifted design with islands [1..k] raised *)
+
+val power_at :
+  t -> ?position:Position.t -> supply_config -> Pvtol_power.Power.report
+(** Power at a die position (leakage sees the systematic Lgate map
+    there; default position A).  All configurations are evaluated at
+    the same frequency (the nominal fmax), as in §5. *)
+
+val growth_targets : Slicing.target list
+(** The scenario ladder the islands compensate: island 1 for the
+    single-stage scenario at C, island 2 for B, island 3 for A. *)

@@ -1,0 +1,154 @@
+open Pvtol_netlist
+module Sta = Pvtol_timing.Sta
+module Sampler = Pvtol_variation.Sampler
+module Position = Pvtol_variation.Position
+module Power = Pvtol_power.Power
+module Placement = Pvtol_place.Placement
+module Srng = Pvtol_util.Srng
+
+type chip = {
+  diagonal_frac : float;
+  violating : int;
+  detected : int;
+  raised : int;
+  meets_uncompensated : bool;
+  meets_compensated : bool;
+  meets_chip_wide : bool;
+}
+
+type study = {
+  chips : chip list;
+  yield_uncompensated : float;
+  yield_compensated : float;
+  yield_chip_wide : float;
+  mean_raised : float;
+  mean_power_islands_mw : float;
+  mean_power_chip_wide_mw : float;
+}
+
+let analyzed = [ Stage.Decode; Stage.Execute; Stage.Writeback ]
+
+let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
+  let nl = t.Flow.netlist in
+  let lib = nl.Netlist.lib in
+  let low = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
+  let high = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_high in
+  let part = v.Flow.slicing.Slicing.partition in
+  let domains = Island.domains part t.Flow.placement in
+  let n_islands = Array.length part.Island.islands in
+  let rng = Srng.create seed in
+  let n = Netlist.cell_count nl in
+  let base = Sta.nominal_delays t.Flow.sta in
+  let lgates = Array.make n 0.0 in
+  let delays = Array.make n 0.0 in
+  let sta_with vdd =
+    Sampler.scale_delays t.Flow.sampler ~base ~lgates ~vdd ~out:delays;
+    Sta.analyze t.Flow.sta ~delays
+  in
+  let violating_stages r =
+    List.length
+      (List.filter
+         (fun s ->
+           match Sta.stage_delay r s with
+           | Some d -> d > t.Flow.clock +. 1e-12
+           | None -> false)
+         analyzed)
+  in
+  (* Power per compensation level, computed once (chip leakage varies
+     with position but the dominant switching term does not). *)
+  let power_of_raised =
+    Array.init (n_islands + 1) (fun raised ->
+        Power.total_mw
+          (Flow.power_at t ~position:Position.point_b (Flow.Islands (v, raised)))
+            .Power.total)
+  in
+  let power_chip_wide =
+    Power.total_mw
+      (Flow.power_at t ~position:Position.point_b Flow.Chip_wide_high).Power.total
+  in
+  let power_baseline =
+    Power.total_mw
+      (Flow.power_at t ~position:Position.point_b Flow.Baseline_low).Power.total
+  in
+  let chips = ref [] in
+  for _ = 1 to n_chips do
+    let frac = Srng.uniform rng in
+    let position = Position.at_fraction frac in
+    let systematic = Sampler.systematic_lgates t.Flow.sampler t.Flow.placement position in
+    Sampler.sample_lgates t.Flow.sampler ~systematic rng lgates;
+    (* This die at nominal supply: which stages fail? *)
+    let r_low = sta_with (fun _ -> low) in
+    let violating = violating_stages r_low in
+    (* The sensors report the scenario; the controller raises that many
+       islands, then — because Razor keeps monitoring in situ — keeps
+       raising one more while violations persist (closed-loop
+       post-silicon testing). *)
+    let detected = violating in
+    let meets_with raised =
+      if raised = 0 then violating = 0
+      else begin
+        let vdd cid = if domains.(cid) <= raised then high else low in
+        violating_stages (sta_with vdd) = 0
+      end
+    in
+    let rec settle k =
+      if k >= n_islands then (n_islands, meets_with n_islands)
+      else if meets_with k then (k, true)
+      else settle (k + 1)
+    in
+    let raised, meets_compensated = settle (min detected n_islands) in
+    let r_chip = sta_with (fun _ -> high) in
+    chips :=
+      {
+        diagonal_frac = frac;
+        violating;
+        detected;
+        raised;
+        meets_uncompensated = violating = 0;
+        meets_compensated;
+        meets_chip_wide = violating_stages r_chip = 0;
+      }
+      :: !chips
+  done;
+  let chips = List.rev !chips in
+  let count f = List.length (List.filter f chips) in
+  let frac_of k = float_of_int k /. float_of_int n_chips in
+  let mean_raised =
+    float_of_int (List.fold_left (fun acc c -> acc + c.raised) 0 chips)
+    /. float_of_int n_chips
+  in
+  (* Population power: islands scheme uses each chip's raised level;
+     chip-wide adaptation raises everything on any failing die. *)
+  let mean_power_islands =
+    List.fold_left (fun acc c -> acc +. power_of_raised.(c.raised)) 0.0 chips
+    /. float_of_int n_chips
+  in
+  let mean_power_chip_wide =
+    List.fold_left
+      (fun acc c ->
+        acc +. if c.meets_uncompensated then power_baseline else power_chip_wide)
+      0.0 chips
+    /. float_of_int n_chips
+  in
+  {
+    chips;
+    yield_uncompensated = frac_of (count (fun c -> c.meets_uncompensated));
+    yield_compensated = frac_of (count (fun c -> c.meets_compensated));
+    yield_chip_wide = frac_of (count (fun c -> c.meets_chip_wide));
+    mean_raised;
+    mean_power_islands_mw = mean_power_islands;
+    mean_power_chip_wide_mw = mean_power_chip_wide;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "population of %d dies:@.\
+    \  timing yield:  uncompensated %.0f%%   islands %.0f%%   chip-wide %.0f%%@.\
+    \  mean islands raised per die: %.2f of 3@.\
+    \  mean power: islands %.2f mW vs chip-wide adaptation %.2f mW (%.1f%% saved)@."
+    (List.length s.chips)
+    (100.0 *. s.yield_uncompensated)
+    (100.0 *. s.yield_compensated)
+    (100.0 *. s.yield_chip_wide)
+    s.mean_raised s.mean_power_islands_mw s.mean_power_chip_wide_mw
+    (100.0 *. (1.0 -. (s.mean_power_islands_mw /. s.mean_power_chip_wide_mw)))

@@ -1,0 +1,52 @@
+(** Post-silicon compensation, evaluated over a chip population.
+
+    The paper's deployment story (§1, §3): after fabrication, Razor
+    timing sensors detect which violation scenario a die exhibits and
+    the matching number of voltage islands is raised.  This module
+    plays that story out across a population of simulated dies — each
+    with its own position on the exposure field and its own random
+    per-gate Lgate draw — and reports the timing yield and power of
+
+    - no compensation (everything at 1.0V),
+    - traditional chip-wide adaptation (1.2V whenever anything fails),
+    - the paper's island scheme (raise exactly the detected scenario's
+      islands).
+
+    This is an extension beyond the paper's exhibits: it validates the
+    closed detect-and-compensate loop the methodology is designed for. *)
+
+type chip = {
+  diagonal_frac : float;    (** die position on the chip diagonal *)
+  violating : int;          (** stages actually failing at 1.0V *)
+  detected : int;           (** scenario the sensors report *)
+  raised : int;             (** islands the controller raises *)
+  meets_uncompensated : bool;
+  meets_compensated : bool;
+  meets_chip_wide : bool;
+}
+
+type study = {
+  chips : chip list;
+  yield_uncompensated : float;
+  yield_compensated : float;
+  yield_chip_wide : float;
+  mean_raised : float;
+  (* Mean total power over the population, each chip at its own
+     compensation level, vs every failing chip at chip-wide 1.2V. *)
+  mean_power_islands_mw : float;
+  mean_power_chip_wide_mw : float;
+}
+
+val run :
+  ?n_chips:int ->
+  ?seed:int ->
+  Flow.t ->
+  Flow.variant ->
+  study
+(** Default: 40 chips, seed 7.  Each chip's die position is uniform on
+    the chip diagonal; detection uses the per-die STA (ideal sensors on
+    every flop — the paper's Razor subset detects the same scenario by
+    construction since it monitors every path that can become
+    critical). *)
+
+val pp : Format.formatter -> study -> unit

@@ -1,0 +1,176 @@
+open Pvtol_netlist
+module Geom = Pvtol_util.Geom
+module Density = Pvtol_place.Density
+module Placement = Pvtol_place.Placement
+module Sta = Pvtol_timing.Sta
+module Sampler = Pvtol_variation.Sampler
+module Position = Pvtol_variation.Position
+
+type target = {
+  scenario_index : int;
+  position : Position.t;
+}
+
+type outcome = {
+  partition : Island.partition;
+  cuts : float array;
+  checks : int;
+}
+
+exception Infeasible of string
+
+let corner_scale ~sampler ~systematic ~corner_kappa ~vdd cid =
+  let lgate_nm =
+    systematic.(cid) +. (corner_kappa *. sampler.Sampler.sigma_rnd_nm)
+  in
+  Sampler.delay_scale sampler ~lgate_nm ~vdd:(vdd cid)
+
+(* Stages whose violations the methodology compensates (fetch excluded,
+   as in the paper). *)
+let checked_stages = [ Stage.Decode; Stage.Execute; Stage.Writeback ]
+
+let pick_side direction density =
+  (* Restrict the density choice to the sides compatible with the
+     slicing orientation. *)
+  let third = density.Density.nx / 3 in
+  let sum pred =
+    let acc = ref 0.0 in
+    for iy = 0 to density.Density.ny - 1 do
+      for ix = 0 to density.Density.nx - 1 do
+        if pred ix iy then
+          acc := !acc +. density.Density.occupied.((iy * density.Density.nx) + ix)
+      done
+    done;
+    !acc
+  in
+  match direction with
+  | Island.Vertical ->
+    let left = sum (fun ix _ -> ix < third) in
+    let right = sum (fun ix _ -> ix >= density.Density.nx - third) in
+    if left >= right then Density.Left else Density.Right
+  | Island.Horizontal ->
+    let bottom = sum (fun _ iy -> iy < third) in
+    let top = sum (fun _ iy -> iy >= density.Density.ny - third) in
+    if bottom >= top then Density.Bottom else Density.Top
+  | Island.Quadrant ->
+    (* Pick the densest corner quarter; Island's corner encoding. *)
+    let nx = density.Density.nx and ny = density.Density.ny in
+    let half_x = nx / 2 and half_y = ny / 2 in
+    let corners =
+      [
+        (Density.Left, sum (fun ix iy -> ix < half_x && iy < half_y));
+        (Density.Right, sum (fun ix iy -> ix >= half_x && iy >= half_y));
+        (Density.Bottom, sum (fun ix iy -> ix >= half_x && iy < half_y));
+        (Density.Top, sum (fun ix iy -> ix < half_x && iy >= half_y));
+      ]
+    in
+    fst
+      (List.fold_left
+         (fun (bs, bv) (s, v) -> if v > bv then (s, v) else (bs, bv))
+         (Density.Left, neg_infinity) corners)
+
+let generate ?(corner_kappa = 0.35) ?(tolerance_um = 2.0) ~direction ?side ~sta
+    ~placement ~sampler ~clock ~targets () =
+  let nl = Sta.netlist sta in
+  let lib = nl.Netlist.lib in
+  let vdd_low = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
+  let vdd_high = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_high in
+  let core = placement.Placement.floorplan.Pvtol_place.Floorplan.core in
+  let side =
+    match side with
+    | Some s -> s
+    | None -> pick_side direction (Density.compute placement)
+  in
+  (* Growth parameterised by the fraction t of the core consumed from
+     the chosen side or corner. *)
+  let region_of_t t = Island.region_of_fraction ~core direction side ~t in
+  let cut_of_t t =
+    (* Representative cut coordinate, for reporting. *)
+    let r = region_of_t t in
+    match (direction, side) with
+    | Island.Vertical, Density.Left -> r.Geom.urx
+    | Island.Vertical, Density.Right -> r.Geom.llx
+    | Island.Horizontal, Density.Bottom -> r.Geom.ury
+    | Island.Horizontal, Density.Top -> r.Geom.lly
+    | Island.Quadrant, _ -> Geom.width r
+    | _ -> assert false
+  in
+  let base = Sta.nominal_delays sta in
+  let delays = Array.make (Array.length base) 0.0 in
+  let checks = ref 0 in
+  let meets ~systematic t =
+    incr checks;
+    let region = region_of_t t in
+    let inside cid =
+      Geom.contains region
+        (Geom.point placement.Placement.xs.(cid) placement.Placement.ys.(cid))
+    in
+    let vdd cid = if inside cid then vdd_high else vdd_low in
+    for i = 0 to Array.length base - 1 do
+      delays.(i) <-
+        base.(i) *. corner_scale ~sampler ~systematic ~corner_kappa ~vdd i
+    done;
+    let r = Sta.analyze sta ~delays in
+    List.for_all
+      (fun s ->
+        match Sta.stage_delay r s with
+        | Some d -> d <= clock +. 1e-9
+        | None -> true)
+      checked_stages
+  in
+  let extent = match direction with
+    | Island.Vertical | Island.Quadrant -> Geom.width core
+    | Island.Horizontal -> Geom.height core
+  in
+  let tol_t = tolerance_um /. extent in
+  let grow ~systematic t_prev =
+    if meets ~systematic t_prev then t_prev
+    else if not (meets ~systematic 1.0) then raise Exit
+    else begin
+      (* Binary search for the minimal compensating fraction. *)
+      let lo = ref t_prev and hi = ref 1.0 in
+      while !hi -. !lo > tol_t do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if meets ~systematic mid then hi := mid else lo := mid
+      done;
+      !hi
+    end
+  in
+  let islands = ref [] in
+  let cuts = ref [] in
+  let t_prev = ref 0.0 in
+  List.iteri
+    (fun i target ->
+      assert (target.scenario_index = i + 1);
+      let systematic = Sampler.systematic_lgates sampler placement target.position in
+      let t =
+        try grow ~systematic !t_prev
+        with Exit ->
+          raise
+            (Infeasible
+               (Printf.sprintf
+                  "scenario %d at position %s not compensable even chip-wide"
+                  target.scenario_index target.position.Position.label))
+      in
+      t_prev := t;
+      let region = region_of_t t in
+      cuts := cut_of_t t :: !cuts;
+      islands :=
+        {
+          Island.index = target.scenario_index;
+          region;
+          cells = Island.cells_in placement region;
+        }
+        :: !islands)
+    targets;
+  {
+    partition =
+      {
+        Island.direction;
+        side;
+        islands = Array.of_list (List.rev !islands);
+        core;
+      };
+    cuts = Array.of_list (List.rev !cuts);
+    checks = !checks;
+  }

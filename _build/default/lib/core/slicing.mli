@@ -1,0 +1,58 @@
+(** Placement-aware greedy voltage-island generation (paper §4.5).
+
+    "Based on cell density considerations, we assess the most promising
+    side of the processor core floorplan to start selecting candidate
+    cells for high-Vdd.  We then progressively extend the slice till
+    the achieved performance speed-up is enough to compensate the less
+    severe timing violation scenario.  [...]  Then, we build a second
+    island incrementally from the first [...]  Finally, a third voltage
+    island will be incrementally derived."
+
+    Compensation is checked with a deterministic corner STA: every cell
+    takes its systematic Lgate at the scenario's die position plus
+    [corner_kappa] random sigmas (calibrated against the Monte-Carlo
+    3-sigma per-stage delays), cells inside the candidate slice run at
+    high Vdd, and every pipeline stage must meet the nominal clock. *)
+
+open Pvtol_netlist
+
+type target = {
+  scenario_index : int;                   (** 1 = least severe *)
+  position : Pvtol_variation.Position.t;  (** die position to compensate *)
+}
+
+type outcome = {
+  partition : Island.partition;
+  cuts : float array;          (** absolute cut coordinate per island *)
+  checks : int;                (** corner STA evaluations performed *)
+}
+
+exception Infeasible of string
+(** Raised when even the full core at high Vdd cannot compensate a
+    target scenario. *)
+
+val corner_scale :
+  sampler:Pvtol_variation.Sampler.t ->
+  systematic:float array ->
+  corner_kappa:float ->
+  vdd:(Netlist.cell_id -> float) ->
+  Netlist.cell_id ->
+  float
+(** Per-cell delay scale at the deterministic compensation corner. *)
+
+val generate :
+  ?corner_kappa:float ->
+  ?tolerance_um:float ->
+  direction:Island.direction ->
+  ?side:Pvtol_place.Density.side ->
+  sta:Pvtol_timing.Sta.t ->
+  placement:Pvtol_place.Placement.t ->
+  sampler:Pvtol_variation.Sampler.t ->
+  clock:float ->
+  targets:target list ->
+  unit ->
+  outcome
+(** [targets] ordered least-severe first (scenario 1, 2, 3...).
+    Defaults: corner_kappa 0.35, cut tolerance 2 um, side from the
+    density map (restricted to the sides compatible with
+    [direction]). *)

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Fun Hashtbl List Netlist Printf Pvtol_stdcell Stage String

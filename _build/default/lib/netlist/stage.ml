@@ -1,0 +1,31 @@
+type t = Fetch | Decode | Execute | Writeback | Pipe_regs | Reg_file
+
+let all = [ Fetch; Decode; Execute; Writeback; Pipe_regs; Reg_file ]
+let timing_stages = [ Fetch; Decode; Execute; Writeback ]
+
+let name = function
+  | Fetch -> "Fetch"
+  | Decode -> "Decode"
+  | Execute -> "Execute"
+  | Writeback -> "Write Back"
+  | Pipe_regs -> "Pipe Regs"
+  | Reg_file -> "Register File"
+
+let of_name s =
+  let rec find = function
+    | [] -> None
+    | st :: rest -> if String.equal (name st) s then Some st else find rest
+  in
+  find all
+
+let index = function
+  | Fetch -> 0
+  | Decode -> 1
+  | Execute -> 2
+  | Writeback -> 3
+  | Pipe_regs -> 4
+  | Reg_file -> 5
+
+let compare a b = Int.compare (index a) (index b)
+let equal a b = index a = index b
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,31 @@
+(** Structural-Verilog writer/parser (gate-level subset).
+
+    The paper's flow hands netlists between tools as structural Verilog
+    (Physical Compiler output); this module provides the same
+    interchange point.  The emitted subset is one module with [input],
+    [output] and [wire] declarations and one instance per cell:
+
+    {v
+    module vex (instr_0, ..., imem_addr_0, ...);
+      input instr_0;
+      output imem_addr_0;
+      wire n42;
+      NAND2_X1 u7 (.o(n42), .i0(instr_0), .i1(n13));  // EX slot0
+    endmodule
+    v}
+
+    Net and port names are sanitized ([\[\]] become [_]); the pipeline
+    stage and unit tags ride in a trailing comment so a round trip
+    preserves them. *)
+
+val to_string : Netlist.t -> string
+val write_file : string -> Netlist.t -> unit
+
+exception Parse_error of string
+
+val of_string : Pvtol_stdcell.Cell.library -> string -> Netlist.t
+(** Rebuild a netlist from the emitted subset.  Cell types must exist
+    in the given library; sequential feedback loops are supported.
+    Raises {!Parse_error} with a line number on malformed input. *)
+
+val read_file : Pvtol_stdcell.Cell.library -> string -> Netlist.t

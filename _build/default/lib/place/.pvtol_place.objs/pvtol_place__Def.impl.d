@@ -1,0 +1,1 @@
+lib/place/def.ml: Array Buffer Float Floorplan Fun Hashtbl List Netlist Placement Printf Pvtol_netlist Pvtol_stdcell Pvtol_util String

@@ -1,0 +1,1 @@
+lib/place/def.mli: Placement Pvtol_netlist

@@ -1,0 +1,1 @@
+lib/place/density.ml: Array Floorplan List Netlist Placement Pvtol_netlist Pvtol_stdcell Pvtol_util

@@ -1,0 +1,1 @@
+lib/place/density.mli: Placement

@@ -1,0 +1,1 @@
+lib/place/floorplan.ml: Float Format Pvtol_util

@@ -1,0 +1,1 @@
+lib/place/incremental.ml: Array Float Floorplan List Netlist Placement Pvtol_netlist Pvtol_util

@@ -1,0 +1,1 @@
+lib/place/incremental.mli: Netlist Placement Pvtol_netlist Pvtol_util

@@ -1,0 +1,1 @@
+lib/place/legalize.ml: Array Float Floorplan Hashtbl List Netlist Option Placement Printf Pvtol_netlist Pvtol_util

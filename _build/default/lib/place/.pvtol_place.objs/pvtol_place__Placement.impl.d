@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Floorplan List Netlist Pvtol_netlist Pvtol_stdcell Pvtol_util

@@ -1,0 +1,1 @@
+lib/place/placement.mli: Floorplan Netlist Pvtol_netlist Pvtol_util

@@ -1,0 +1,1 @@
+lib/place/placer.ml: Array Density Float Floorplan Hashtbl Legalize List Netlist Option Placement Pvtol_netlist Pvtol_stdcell Pvtol_util String

@@ -1,0 +1,1 @@
+lib/place/placer.mli: Floorplan Netlist Placement Pvtol_netlist

@@ -1,0 +1,1 @@
+lib/place/router.ml: Array Floorplan List Netlist Placement Pvtol_netlist Pvtol_util

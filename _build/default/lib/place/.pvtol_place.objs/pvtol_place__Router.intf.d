@@ -1,0 +1,1 @@
+lib/place/router.mli: Netlist Placement Pvtol_netlist

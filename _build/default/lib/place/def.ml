@@ -1,0 +1,111 @@
+open Pvtol_netlist
+module Geom = Pvtol_util.Geom
+module Cell_lib = Pvtol_stdcell.Cell
+
+exception Parse_error of string
+
+let units = 1000.0
+
+let to_string (p : Placement.t) =
+  let b = Buffer.create (Netlist.cell_count p.Placement.netlist * 48) in
+  let fp = p.Placement.floorplan in
+  let core = fp.Floorplan.core in
+  let i_of f = int_of_float (Float.round (f *. units)) in
+  Buffer.add_string b "VERSION 5.8 ;\n";
+  Buffer.add_string b
+    (Printf.sprintf "DESIGN %s ;\n" p.Placement.netlist.Netlist.design_name);
+  Buffer.add_string b "UNITS DISTANCE MICRONS 1000 ;\n";
+  Buffer.add_string b
+    (Printf.sprintf "DIEAREA ( %d %d ) ( %d %d ) ;\n" (i_of core.Geom.llx)
+       (i_of core.Geom.lly) (i_of core.Geom.urx) (i_of core.Geom.ury));
+  Buffer.add_string b
+    (Printf.sprintf "ROWDEFS %d %d %d ;\n" fp.Floorplan.n_rows
+       (i_of fp.Floorplan.row_height) (i_of fp.Floorplan.site_width));
+  Buffer.add_string b
+    (Printf.sprintf "COMPONENTS %d ;\n" (Netlist.cell_count p.Placement.netlist));
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      Buffer.add_string b
+        (Printf.sprintf "- %s %s + PLACED ( %d %d ) N ;\n" c.Netlist.name
+           (Cell_lib.cell_name c.Netlist.cell)
+           (i_of p.Placement.xs.(c.Netlist.id))
+           (i_of p.Placement.ys.(c.Netlist.id))))
+    p.Placement.netlist.Netlist.cells;
+  Buffer.add_string b "END COMPONENTS\nEND DESIGN\n";
+  Buffer.contents b
+
+let write_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+let of_string nl src =
+  let by_name = Hashtbl.create (Netlist.cell_count nl) in
+  Array.iter (fun (c : Netlist.cell) -> Hashtbl.replace by_name c.Netlist.name c) nl.Netlist.cells;
+  let lines = String.split_on_char '\n' src in
+  let die = ref None and rowdefs = ref None in
+  let xs = Array.make (Netlist.cell_count nl) nan in
+  let ys = Array.make (Netlist.cell_count nl) nan in
+  let f_of s =
+    match int_of_string_opt s with
+    | Some i -> float_of_int i /. units
+    | None -> raise (Parse_error (Printf.sprintf "bad coordinate %S" s))
+  in
+  List.iter
+    (fun line ->
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | "DIEAREA" :: "(" :: x1 :: y1 :: ")" :: "(" :: x2 :: y2 :: ")" :: _ ->
+        die := Some (f_of x1, f_of y1, f_of x2, f_of y2)
+      | "ROWDEFS" :: n :: rh :: sw :: _ ->
+        rowdefs :=
+          Some
+            ( (match int_of_string_opt n with
+              | Some v -> v
+              | None -> raise (Parse_error "bad ROWDEFS count")),
+              f_of rh, f_of sw )
+      | "-" :: name :: _cellty :: "+" :: "PLACED" :: "(" :: x :: y :: ")" :: _ -> begin
+        match Hashtbl.find_opt by_name name with
+        | Some c ->
+          xs.(c.Netlist.id) <- f_of x;
+          ys.(c.Netlist.id) <- f_of y
+        | None -> raise (Parse_error (Printf.sprintf "unknown component %s" name))
+      end
+      | _ -> ())
+    lines;
+  let llx, lly, urx, ury =
+    match !die with
+    | Some d -> d
+    | None -> raise (Parse_error "missing DIEAREA")
+  in
+  let n_rows, row_height, site_width =
+    match !rowdefs with
+    | Some r -> r
+    | None -> raise (Parse_error "missing ROWDEFS")
+  in
+  Array.iteri
+    (fun i x ->
+      if Float.is_nan x then
+        raise (Parse_error (Printf.sprintf "cell %d missing placement" i)))
+    xs;
+  let fp =
+    {
+      Floorplan.core = Geom.rect ~llx ~lly ~urx ~ury;
+      row_height;
+      site_width;
+      n_rows;
+      utilization =
+        Netlist.area nl /. ((urx -. llx) *. (ury -. lly));
+    }
+  in
+  { Placement.netlist = nl; floorplan = fp; xs; ys }
+
+let read_file nl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string nl (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,19 @@
+(** DEF-subset writer/parser for placement interchange.
+
+    The paper's flow obtains coarse placement "through the def file"
+    emitted by Physical Compiler; this module provides the same
+    interchange point: a placement can be dumped to DEF, inspected or
+    transformed externally, and read back against the same netlist.
+    Coordinates are written in DEF distance units (1000 per micron). *)
+
+val to_string : Placement.t -> string
+val write_file : string -> Placement.t -> unit
+
+exception Parse_error of string
+
+val of_string : Pvtol_netlist.Netlist.t -> string -> Placement.t
+(** Rebuild a placement from DEF text; every component must name a cell
+    of the given netlist, and the floorplan is reconstructed from the
+    DIEAREA/ROW statements. *)
+
+val read_file : Pvtol_netlist.Netlist.t -> string -> Placement.t

@@ -1,0 +1,64 @@
+module Geom = Pvtol_util.Geom
+open Pvtol_netlist
+
+type t = {
+  nx : int;
+  ny : int;
+  bin_w : float;
+  bin_h : float;
+  occupied : float array;
+}
+
+let compute ?(nx = 32) ?(ny = 32) (p : Placement.t) =
+  let core = p.Placement.floorplan.Floorplan.core in
+  let bin_w = Geom.width core /. float_of_int nx in
+  let bin_h = Geom.height core /. float_of_int ny in
+  let occupied = Array.make (nx * ny) 0.0 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      let i = c.Netlist.id in
+      let bx =
+        max 0 (min (nx - 1) (int_of_float ((p.Placement.xs.(i) -. core.Geom.llx) /. bin_w)))
+      in
+      let by =
+        max 0 (min (ny - 1) (int_of_float ((p.Placement.ys.(i) -. core.Geom.lly) /. bin_h)))
+      in
+      occupied.((by * nx) + bx) <-
+        occupied.((by * nx) + bx) +. c.Netlist.cell.Pvtol_stdcell.Cell.area)
+    p.Placement.netlist.Netlist.cells;
+  { nx; ny; bin_w; bin_h; occupied }
+
+let bin_area t = t.bin_w *. t.bin_h
+let density t ix iy = t.occupied.((iy * t.nx) + ix) /. bin_area t
+
+type side = Left | Right | Bottom | Top
+
+let densest_side t =
+  let third_x = t.nx / 3 and third_y = t.ny / 3 in
+  let sum pred =
+    let acc = ref 0.0 in
+    for iy = 0 to t.ny - 1 do
+      for ix = 0 to t.nx - 1 do
+        if pred ix iy then acc := !acc +. t.occupied.((iy * t.nx) + ix)
+      done
+    done;
+    !acc
+  in
+  let candidates =
+    [
+      (Left, sum (fun ix _ -> ix < third_x));
+      (Right, sum (fun ix _ -> ix >= t.nx - third_x));
+      (Bottom, sum (fun _ iy -> iy < third_y));
+      (Top, sum (fun _ iy -> iy >= t.ny - third_y));
+    ]
+  in
+  fst
+    (List.fold_left
+       (fun (bs, bv) (s, v) -> if v > bv then (s, v) else (bs, bv))
+       (Left, neg_infinity) candidates)
+
+let side_name = function
+  | Left -> "left"
+  | Right -> "right"
+  | Bottom -> "bottom"
+  | Top -> "top"

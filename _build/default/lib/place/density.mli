@@ -1,0 +1,30 @@
+(** Cell-density map over the core area.
+
+    Used by the global placer's spreading step and by the
+    voltage-island generator, which (per the paper, §4.5) assesses
+    "the most promising side of the processor core floorplan (upper,
+    lower, left or right) to start selecting candidate cells for
+    high-Vdd" based on cell-density considerations. *)
+
+type t = {
+  nx : int;
+  ny : int;
+  bin_w : float;
+  bin_h : float;
+  occupied : float array;  (** row-major [ny * nx], um^2 of cells *)
+}
+
+val compute : ?nx:int -> ?ny:int -> Placement.t -> t
+(** Default grid 32 x 32. *)
+
+val bin_area : t -> float
+val density : t -> int -> int -> float
+(** Occupied fraction of bin (ix, iy). *)
+
+type side = Left | Right | Bottom | Top
+
+val densest_side : t -> side
+(** Side whose near-edge third of the core holds the most cell area —
+    the starting side for greedy voltage-island slicing. *)
+
+val side_name : side -> string

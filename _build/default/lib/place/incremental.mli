@@ -1,0 +1,32 @@
+(** Incremental (ECO) placement for post-processing insertions — the
+    methodology's level-shifter step: "we envision incremental
+    placement only for level shifter insertion".
+
+    Existing cells never move: each new cell is dropped into the
+    nearest free row gap that fits it, searching outward from its
+    preferred row.  This keeps the performance-optimized placement
+    untouched, which is the whole point of the paper's
+    minimum-perturbation island style. *)
+
+open Pvtol_netlist
+
+type stats = {
+  inserted : int;
+  moved : int;                 (** pre-existing cells displaced: always 0 *)
+  mean_displacement : float;   (** new cells' distance from their target, um *)
+  max_displacement : float;
+}
+
+val insert :
+  Placement.t ->
+  Netlist.t ->
+  desired:(Netlist.cell_id -> Pvtol_util.Geom.point) ->
+  Placement.t * stats
+(** [insert old_placement new_netlist ~desired] places [new_netlist],
+    whose cells [0 .. n_old-1] must correspond one-to-one to the cells
+    of [old_placement.netlist] (topology may differ), and whose extra
+    cells get their target position from [desired].  Returns a fresh
+    legal placement and insertion statistics.
+
+    Raises [Failure] if some new cell fits in no row (the floorplan is
+    effectively full). *)

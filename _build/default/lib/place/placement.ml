@@ -1,0 +1,61 @@
+open Pvtol_netlist
+module Geom = Pvtol_util.Geom
+
+type t = {
+  netlist : Netlist.t;
+  floorplan : Floorplan.t;
+  xs : float array;
+  ys : float array;
+}
+
+let create netlist floorplan =
+  let n = Netlist.cell_count netlist in
+  let c = Geom.center floorplan.Floorplan.core in
+  {
+    netlist;
+    floorplan;
+    xs = Array.make n c.Geom.x;
+    ys = Array.make n c.Geom.y;
+  }
+
+let cell_width (c : Netlist.cell) (fp : Floorplan.t) =
+  c.Netlist.cell.Pvtol_stdcell.Cell.area /. fp.Floorplan.row_height
+
+let pos t cid = Geom.point t.xs.(cid) t.ys.(cid)
+
+let net_bbox t nid =
+  let net = t.netlist.Netlist.nets.(nid) in
+  let pts = ref [] in
+  (match net.Netlist.driver with
+  | Some d -> pts := (t.xs.(d), t.ys.(d)) :: !pts
+  | None -> ());
+  Array.iter (fun (cid, _) -> pts := (t.xs.(cid), t.ys.(cid)) :: !pts) net.Netlist.sinks;
+  match !pts with
+  | [] -> None
+  | (x0, y0) :: rest ->
+    let llx = ref x0 and lly = ref y0 and urx = ref x0 and ury = ref y0 in
+    List.iter
+      (fun (x, y) ->
+        if x < !llx then llx := x;
+        if x > !urx then urx := x;
+        if y < !lly then lly := y;
+        if y > !ury then ury := y)
+      rest;
+    Some (Geom.rect ~llx:!llx ~lly:!lly ~urx:!urx ~ury:!ury)
+
+let hpwl t nid =
+  match net_bbox t nid with
+  | None -> 0.0
+  | Some r -> Geom.width r +. Geom.height r
+
+let wire_length t nid =
+  let fanout = Array.length t.netlist.Netlist.nets.(nid).Netlist.sinks in
+  if fanout <= 1 then hpwl t nid
+  else hpwl t nid *. (1.0 +. (0.35 *. (sqrt (float_of_int fanout) -. 1.0)))
+
+let total_hpwl t =
+  let acc = ref 0.0 in
+  Array.iter (fun (n : Netlist.net) -> acc := !acc +. hpwl t n.Netlist.net_id) t.netlist.Netlist.nets;
+  !acc
+
+let copy t = { t with xs = Array.copy t.xs; ys = Array.copy t.ys }

@@ -1,0 +1,157 @@
+open Pvtol_netlist
+module Geom = Pvtol_util.Geom
+module Srng = Pvtol_util.Srng
+
+let spread_step (p : Placement.t) =
+  let fp = p.Placement.floorplan in
+  let core = fp.Floorplan.core in
+  let d = Density.compute ~nx:32 ~ny:32 p in
+  let target = fp.Floorplan.utilization *. Density.bin_area d in
+  let nx = d.Density.nx and ny = d.Density.ny in
+  let occ ix iy =
+    if ix < 0 || iy < 0 || ix >= nx || iy >= ny then infinity
+    else d.Density.occupied.((iy * nx) + ix)
+  in
+  let n = Array.length p.Placement.xs in
+  for i = 0 to n - 1 do
+    let ix =
+      max 0 (min (nx - 1) (int_of_float ((p.Placement.xs.(i) -. core.Geom.llx) /. d.Density.bin_w)))
+    and iy =
+      max 0 (min (ny - 1) (int_of_float ((p.Placement.ys.(i) -. core.Geom.lly) /. d.Density.bin_h)))
+    in
+    let here = occ ix iy in
+    if here > target then begin
+      (* Push along the discrete density gradient, proportional to
+         overflow, capped at one bin pitch. *)
+      let gx = occ (ix - 1) iy -. occ (ix + 1) iy in
+      let gy = occ ix (iy - 1) -. occ ix (iy + 1) in
+      let norm = Float.hypot gx gy in
+      if norm > 0.0 && Float.is_finite norm then begin
+        let strength = Float.min 1.0 ((here -. target) /. target) in
+        p.Placement.xs.(i) <-
+          p.Placement.xs.(i) +. (gx /. norm *. strength *. d.Density.bin_w);
+        p.Placement.ys.(i) <-
+          p.Placement.ys.(i) +. (gy /. norm *. strength *. d.Density.bin_h)
+      end
+    end;
+    (* Clamp into the core with a small margin. *)
+    let m = 0.1 in
+    p.Placement.xs.(i) <-
+      Float.max (core.Geom.llx +. m) (Float.min (core.Geom.urx -. m) p.Placement.xs.(i));
+    p.Placement.ys.(i) <-
+      Float.max (core.Geom.lly +. m) (Float.min (core.Geom.ury -. m) p.Placement.ys.(i))
+  done
+
+let attraction_step (p : Placement.t) ~damping =
+  let nl = p.Placement.netlist in
+  let ncells = Netlist.cell_count nl in
+  let sum_x = Array.make ncells 0.0 in
+  let sum_y = Array.make ncells 0.0 in
+  let cnt = Array.make ncells 0 in
+  (* Star model: every pin of a net is attracted to the net's centroid. *)
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let cx = ref 0.0 and cy = ref 0.0 and k = ref 0 in
+      let visit cid =
+        cx := !cx +. p.Placement.xs.(cid);
+        cy := !cy +. p.Placement.ys.(cid);
+        incr k
+      in
+      (match net.Netlist.driver with Some d -> visit d | None -> ());
+      Array.iter (fun (cid, _) -> visit cid) net.Netlist.sinks;
+      if !k >= 2 then begin
+        let cx = !cx /. float_of_int !k and cy = !cy /. float_of_int !k in
+        let record cid =
+          sum_x.(cid) <- sum_x.(cid) +. cx;
+          sum_y.(cid) <- sum_y.(cid) +. cy;
+          cnt.(cid) <- cnt.(cid) + 1
+        in
+        (match net.Netlist.driver with Some d -> record d | None -> ());
+        Array.iter (fun (cid, _) -> record cid) net.Netlist.sinks
+      end)
+    nl.Netlist.nets;
+  for i = 0 to ncells - 1 do
+    if cnt.(i) > 0 then begin
+      let tx = sum_x.(i) /. float_of_int cnt.(i) in
+      let ty = sum_y.(i) /. float_of_int cnt.(i) in
+      p.Placement.xs.(i) <- (damping *. tx) +. ((1.0 -. damping) *. p.Placement.xs.(i));
+      p.Placement.ys.(i) <- (damping *. ty) +. ((1.0 -. damping) *. p.Placement.ys.(i))
+    end
+  done
+
+(* Initial placement: recursive area bisection over functional-unit
+   groups (a treemap), then random scatter within each group's tile.
+   Connectivity is mostly intra-unit, so this starts the force-directed
+   refinement close to a good basin; the attraction iterations then
+   interleave cells near unit boundaries. *)
+let init_by_unit (p : Placement.t) rng =
+  let nl = p.Placement.netlist in
+  let core = p.Placement.floorplan.Floorplan.core in
+  let groups = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      let key = c.Netlist.unit_name in
+      let cells, area =
+        Option.value (Hashtbl.find_opt groups key) ~default:([], 0.0)
+      in
+      Hashtbl.replace groups key
+        (c.Netlist.id :: cells, area +. c.Netlist.cell.Pvtol_stdcell.Cell.area))
+    nl.Netlist.cells;
+  let glist =
+    Hashtbl.fold (fun k (cells, area) acc -> (k, cells, area) :: acc) groups []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let scatter (rect : Geom.rect) cells =
+    List.iter
+      (fun i ->
+        p.Placement.xs.(i) <- rect.Geom.llx +. Srng.float rng (Geom.width rect);
+        p.Placement.ys.(i) <- rect.Geom.lly +. Srng.float rng (Geom.height rect))
+      cells
+  in
+  let rec split rect = function
+    | [] -> ()
+    | [ (_, cells, _) ] -> scatter rect cells
+    | gs ->
+      let total = List.fold_left (fun acc (_, _, a) -> acc +. a) 0.0 gs in
+      (* Greedy half-split by area. *)
+      let rec take acc_area acc = function
+        | [] -> (List.rev acc, [])
+        | ((_, _, a) as g) :: rest ->
+          if acc_area +. a > total /. 2.0 && acc <> [] then (List.rev acc, g :: rest)
+          else take (acc_area +. a) (g :: acc) rest
+      in
+      let first, second = take 0.0 [] gs in
+      let frac =
+        List.fold_left (fun acc (_, _, a) -> acc +. a) 0.0 first /. total
+      in
+      let r1, r2 =
+        if Geom.width rect >= Geom.height rect then begin
+          let xm = rect.Geom.llx +. (frac *. Geom.width rect) in
+          ( Geom.rect ~llx:rect.Geom.llx ~lly:rect.Geom.lly ~urx:xm ~ury:rect.Geom.ury,
+            Geom.rect ~llx:xm ~lly:rect.Geom.lly ~urx:rect.Geom.urx ~ury:rect.Geom.ury )
+        end
+        else begin
+          let ym = rect.Geom.lly +. (frac *. Geom.height rect) in
+          ( Geom.rect ~llx:rect.Geom.llx ~lly:rect.Geom.lly ~urx:rect.Geom.urx ~ury:ym,
+            Geom.rect ~llx:rect.Geom.llx ~lly:ym ~urx:rect.Geom.urx ~ury:rect.Geom.ury )
+        end
+      in
+      split r1 first;
+      split r2 second
+  in
+  split core glist
+
+let global_only ?(iterations = 48) ?(seed = 1) ?(damping = 0.6) nl fp =
+  let p = Placement.create nl fp in
+  let rng = Srng.create seed in
+  init_by_unit p rng;
+  for _ = 1 to iterations do
+    attraction_step p ~damping;
+    spread_step p
+  done;
+  p
+
+let place ?iterations ?seed ?damping ?padding nl fp =
+  let p = global_only ?iterations ?seed ?damping nl fp in
+  Legalize.run ?padding p;
+  p

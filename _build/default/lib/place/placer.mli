@@ -1,0 +1,27 @@
+(** Wirelength-driven global placement.
+
+    A force-directed scheme standing in for the paper's Physical
+    Compiler coarse placement: cells iteratively move toward the
+    centroid of their incident nets (pulling connected logic together)
+    while a density-diffusion step pushes cells out of overfull bins.
+    The result is the "performance pre-optimized placement" the
+    methodology takes as input, in which cells of different pipeline
+    stages end up distributed and interleaved across the floorplan —
+    the property that motivates the paper's proximity-based (rather
+    than logic-based) island generation. *)
+
+open Pvtol_netlist
+
+val place :
+  ?iterations:int -> ?seed:int -> ?damping:float -> ?padding:float ->
+  Netlist.t -> Floorplan.t ->
+  Placement.t
+(** Global placement followed by row legalization (see {!Legalize};
+    [padding] reserves distributed ECO whitespace).  Defaults: 48
+    iterations, seed 1, damping 0.6, no padding.  Deterministic. *)
+
+val global_only :
+  ?iterations:int -> ?seed:int -> ?damping:float -> Netlist.t -> Floorplan.t ->
+  Placement.t
+(** The force-directed phase alone, without legalization (useful for
+    inspecting the spreading behaviour and in tests). *)

@@ -1,0 +1,199 @@
+open Pvtol_netlist
+module Geom = Pvtol_util.Geom
+
+type config = {
+  grid : int;
+  tracks_per_edge : int;
+  reroute_passes : int;
+}
+
+let default_config = { grid = 32; tracks_per_edge = 0; reroute_passes = 2 }
+
+type result = {
+  config : config;
+  routed_um : float array;
+  total_um : float;
+  total_hpwl_um : float;
+  overflowed_edges : int;
+  max_utilization : float;
+  mean_utilization : float;
+}
+
+(* Edge identifiers: horizontal edge h(ix, iy) joins gcell (ix,iy) to
+   (ix+1,iy); vertical edge v(ix, iy) joins (ix,iy) to (ix,iy+1). *)
+type grid_state = {
+  g : int;
+  usage : int array;  (* h edges then v edges *)
+  cap : int;
+}
+
+let h_edge gs ix iy = (iy * (gs.g - 1)) + ix
+let v_edge gs ix iy = ((gs.g - 1) * gs.g) + (ix * (gs.g - 1)) + iy
+
+(* Edges of an L path from (x1,y1) to (x2,y2), horizontal-first when
+   [hfirst]. *)
+let l_path gs (x1, y1) (x2, y2) ~hfirst =
+  let xs lo hi = List.init (abs (hi - lo)) (fun k -> min lo hi + k) in
+  let horiz y = List.map (fun x -> h_edge gs x y) (xs x1 x2) in
+  let vert x = List.map (fun y -> v_edge gs x y) (xs y1 y2) in
+  if hfirst then horiz y1 @ vert x2 else vert x1 @ horiz y2
+
+let path_cost gs ~penalty edges =
+  List.fold_left
+    (fun acc e ->
+      let u = gs.usage.(e) in
+      acc +. 1.0
+      +. (float_of_int u /. float_of_int gs.cap)
+      +. (if u >= gs.cap then penalty else 0.0))
+    0.0 edges
+
+let claim gs edges = List.iter (fun e -> gs.usage.(e) <- gs.usage.(e) + 1) edges
+let release gs edges = List.iter (fun e -> gs.usage.(e) <- gs.usage.(e) - 1) edges
+
+let route_segment gs ~penalty a b =
+  if a = b then []
+  else begin
+    let p1 = l_path gs a b ~hfirst:true in
+    let p2 = l_path gs a b ~hfirst:false in
+    let path =
+      if path_cost gs ~penalty p1 <= path_cost gs ~penalty p2 then p1 else p2
+    in
+    claim gs path;
+    path
+  end
+
+(* Nearest-neighbour spanning connection over a net's pin gcells. *)
+let spanning_segments pins =
+  match pins with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+    let connected = ref [ first ] in
+    let remaining = ref rest in
+    let segments = ref [] in
+    while !remaining <> [] do
+      (* Closest (connected, remaining) pair. *)
+      let best = ref None in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun c ->
+              let (px, py) = p and (cx, cy) = c in
+              let d = abs (px - cx) + abs (py - cy) in
+              match !best with
+              | Some (bd, _, _) when bd <= d -> ()
+              | _ -> best := Some (d, c, p))
+            !connected)
+        !remaining;
+      match !best with
+      | Some (_, c, p) ->
+        segments := (c, p) :: !segments;
+        connected := p :: !connected;
+        remaining := List.filter (fun q -> q <> p) !remaining
+      | None -> assert false
+    done;
+    List.rev !segments
+
+let route ?(config = default_config) (p : Placement.t) =
+  let nl = p.Placement.netlist in
+  let core = p.Placement.floorplan.Floorplan.core in
+  let g = config.grid in
+  let bw = Geom.width core /. float_of_int g in
+  let bh = Geom.height core /. float_of_int g in
+  let pitch = (bw +. bh) /. 2.0 in
+  let cap =
+    if config.tracks_per_edge > 0 then config.tracks_per_edge
+    else
+      (* 0.4 um track pitch, three routing layers per direction. *)
+      max 8 (int_of_float (3.0 *. pitch /. 0.4))
+  in
+  let gs = { g; usage = Array.make (2 * (g - 1) * g) 0; cap } in
+  let gcell cid =
+    let ix =
+      max 0 (min (g - 1) (int_of_float ((p.Placement.xs.(cid) -. core.Geom.llx) /. bw)))
+    in
+    let iy =
+      max 0 (min (g - 1) (int_of_float ((p.Placement.ys.(cid) -. core.Geom.lly) /. bh)))
+    in
+    (ix, iy)
+  in
+  let n_nets = Netlist.net_count nl in
+  let routed_um = Array.make n_nets 0.0 in
+  (* Per net: its segments' edge paths (for rip-up) and endpoints. *)
+  let net_paths : (int * int) list list array = Array.make n_nets [] in
+  let net_segments = Array.make n_nets [] in
+  let paths_edges : int list list array = Array.make n_nets [] in
+  ignore net_paths;
+  let total_hpwl = ref 0.0 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let nid = net.Netlist.net_id in
+      let pins =
+        (match net.Netlist.driver with Some d -> [ gcell d ] | None -> [])
+        @ (Array.to_list net.Netlist.sinks |> List.map (fun (cid, _) -> gcell cid))
+      in
+      let pins = List.sort_uniq compare pins in
+      if List.length pins >= 1 && (net.Netlist.driver <> None || net.Netlist.sinks <> [||])
+      then total_hpwl := !total_hpwl +. Placement.hpwl p nid;
+      let segments = spanning_segments pins in
+      net_segments.(nid) <- segments;
+      let paths =
+        List.map (fun (a, b) -> route_segment gs ~penalty:2.0 a b) segments
+      in
+      paths_edges.(nid) <- paths)
+    nl.Netlist.nets;
+  (* Rip-up and reroute segments that use overflowed edges. *)
+  for _ = 1 to config.reroute_passes do
+    let overflowed e = gs.usage.(e) > gs.cap in
+    Array.iteri
+      (fun nid paths ->
+        let segments = net_segments.(nid) in
+        let paths' =
+          List.map2
+            (fun (a, b) path ->
+              if List.exists overflowed path then begin
+                release gs path;
+                route_segment gs ~penalty:8.0 a b
+              end
+              else path)
+            segments paths
+        in
+        paths_edges.(nid) <- paths')
+      paths_edges
+  done;
+  (* Lengths and congestion statistics. *)
+  let total = ref 0.0 in
+  Array.iteri
+    (fun nid paths ->
+      let steps = List.fold_left (fun acc path -> acc + List.length path) 0 paths in
+      let um =
+        if steps = 0 then
+          (* Single-gcell net: fall back to its local HPWL. *)
+          Placement.hpwl p nid
+        else float_of_int steps *. pitch
+      in
+      routed_um.(nid) <- um;
+      total := !total +. um)
+    paths_edges;
+  let overflowed = ref 0 and worst = ref 0.0 in
+  let used_sum = ref 0.0 and used_n = ref 0 in
+  Array.iter
+    (fun u ->
+      if u > gs.cap then incr overflowed;
+      let util = float_of_int u /. float_of_int gs.cap in
+      if util > !worst then worst := util;
+      if u > 0 then begin
+        used_sum := !used_sum +. util;
+        incr used_n
+      end)
+    gs.usage;
+  {
+    config;
+    routed_um;
+    total_um = !total;
+    total_hpwl_um = !total_hpwl;
+    overflowed_edges = !overflowed;
+    max_utilization = !worst;
+    mean_utilization = (if !used_n = 0 then 0.0 else !used_sum /. float_of_int !used_n);
+  }
+
+let wire_length r nid = r.routed_um.(nid)

@@ -1,0 +1,41 @@
+(** Global routing over a grid of gcells.
+
+    Each net is decomposed into two-pin segments by a nearest-neighbour
+    spanning tree over its pins and routed with L-shapes (both bends
+    tried, the less congested chosen); a rip-up-and-reroute pass then
+    re-routes the segments crossing overflowed edges with a
+    congestion-aware cost.  The result gives per-net routed wirelength
+    (replacing the HPWL/Steiner estimate) and a congestion map — which
+    is what the paper's flow gets from Physical Compiler's global
+    router, and what lets the experiments check that level-shifter
+    insertion does not wreck routability. *)
+
+open Pvtol_netlist
+
+type config = {
+  grid : int;                (** gcells per axis (default 32) *)
+  tracks_per_edge : int;     (** capacity of each gcell boundary;
+                                 0 = derive from the gcell pitch at a
+                                 0.4 um track pitch across three layers
+                                 per direction (the default) *)
+  reroute_passes : int;      (** rip-up iterations (default 2) *)
+}
+
+val default_config : config
+
+type result = {
+  config : config;
+  routed_um : float array;     (** per net: routed length (um), 0 for
+                                   dead or single-pin nets *)
+  total_um : float;
+  total_hpwl_um : float;       (** for the detour ratio *)
+  overflowed_edges : int;      (** edges above capacity after reroute *)
+  max_utilization : float;     (** worst edge usage / capacity *)
+  mean_utilization : float;    (** over used edges *)
+}
+
+val route : ?config:config -> Placement.t -> result
+
+val wire_length : result -> Netlist.net_id -> float
+(** Routed length of a net, suitable for [Sta.build]'s [wire_length]
+    (falls back to nothing: single-pin nets are 0). *)

@@ -1,0 +1,1 @@
+lib/power/gatesim.ml: Array Int32 List Netlist Pvtol_netlist Pvtol_stdcell Pvtol_util Queue String

@@ -1,0 +1,1 @@
+lib/power/gatesim.mli: Int32 Netlist Pvtol_netlist

@@ -1,0 +1,1 @@
+lib/power/power.ml: Array Format Gatesim Hashtbl List Netlist Option Pvtol_netlist Pvtol_stdcell Stage

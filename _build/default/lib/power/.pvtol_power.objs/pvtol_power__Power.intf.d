@@ -1,0 +1,1 @@
+lib/power/power.mli: Format Gatesim Netlist Pvtol_netlist Stage

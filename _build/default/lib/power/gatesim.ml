@@ -1,0 +1,143 @@
+open Pvtol_netlist
+module Kind = Pvtol_stdcell.Kind
+module Cell_lib = Pvtol_stdcell.Cell
+module Srng = Pvtol_util.Srng
+
+type stimulus = cycle:int -> input_index:int -> bool
+
+type activity = {
+  cycles : int;
+  toggles : int array;
+  rates : float array;
+}
+
+(* Levelized combinational order (flip-flops excluded). *)
+let topo_order (nl : Netlist.t) =
+  let n = Netlist.cell_count nl in
+  let is_seq (c : Netlist.cell) =
+    Kind.is_sequential c.Netlist.cell.Cell_lib.kind
+  in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not (is_seq c) then
+        Array.iter
+          (fun nid ->
+            match nl.Netlist.nets.(nid).Netlist.driver with
+            | Some d when not (is_seq nl.Netlist.cells.(d)) ->
+              indeg.(c.Netlist.id) <- indeg.(c.Netlist.id) + 1
+            | Some _ | None -> ())
+          c.Netlist.fanins)
+    nl.Netlist.cells;
+  let queue = Queue.create () in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if (not (is_seq c)) && indeg.(c.Netlist.id) = 0 then
+        Queue.add c.Netlist.id queue)
+    nl.Netlist.cells;
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    order.(!k) <- cid;
+    incr k;
+    Array.iter
+      (fun (sink, _) ->
+        if not (is_seq nl.Netlist.cells.(sink)) then begin
+          indeg.(sink) <- indeg.(sink) - 1;
+          if indeg.(sink) = 0 then Queue.add sink queue
+        end)
+      nl.Netlist.nets.(nl.Netlist.cells.(cid).Netlist.fanout).Netlist.sinks
+  done;
+  Array.sub order 0 !k
+
+let run ?(cycles = 512) (nl : Netlist.t) stimulus =
+  let order = topo_order nl in
+  let value = Array.make (Netlist.net_count nl) false in
+  let toggles = Array.make (Netlist.cell_count nl) 0 in
+  let flops =
+    Array.to_list nl.Netlist.cells
+    |> List.filter (fun (c : Netlist.cell) ->
+           Kind.is_sequential c.Netlist.cell.Cell_lib.kind)
+    |> Array.of_list
+  in
+  let eval_cell (c : Netlist.cell) =
+    let kind = c.Netlist.cell.Cell_lib.kind in
+    let ins = Array.map (fun nid -> value.(nid)) c.Netlist.fanins in
+    Kind.eval kind ins
+  in
+  for cycle = 0 to cycles - 1 do
+    Array.iteri
+      (fun idx nid -> value.(nid) <- stimulus ~cycle ~input_index:idx)
+      nl.Netlist.inputs;
+    (* Flop outputs already hold this cycle's Q; evaluate logic. *)
+    Array.iter
+      (fun cid ->
+        let c = nl.Netlist.cells.(cid) in
+        let v = eval_cell c in
+        if v <> value.(c.Netlist.fanout) then
+          toggles.(cid) <- toggles.(cid) + 1;
+        value.(c.Netlist.fanout) <- v)
+      order;
+    (* Clock edge: all flops capture D simultaneously. *)
+    let captured =
+      Array.map (fun (c : Netlist.cell) -> value.(c.Netlist.fanins.(0))) flops
+    in
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        if captured.(i) <> value.(c.Netlist.fanout) then
+          toggles.(c.Netlist.id) <- toggles.(c.Netlist.id) + 1;
+        value.(c.Netlist.fanout) <- captured.(i))
+      flops
+  done;
+  {
+    cycles;
+    toggles;
+    rates =
+      Array.map (fun t -> float_of_int t /. float_of_int cycles) toggles;
+  }
+
+let random_stimulus ~seed =
+  (* Stateless hashing keeps the stimulus independent of evaluation
+     order: bit = hash(seed, cycle, input). *)
+  fun ~cycle ~input_index ->
+    let g = Srng.create ((seed * 0x9E3779B1) lxor (cycle * 2654435761) lxor input_index) in
+    Srng.uniform g < 0.5
+
+let trace_stimulus (nl : Netlist.t) ~instr_prefix ~words ~fallback =
+  let words = Array.of_list words in
+  let n_cycles = Array.length words in
+  assert (n_cycles > 0);
+  (* Map input index -> (word, bit) when the input belongs to the
+     instruction bus. *)
+  let classify =
+    Array.map
+      (fun nid ->
+        let name = nl.Netlist.nets.(nid).Netlist.net_name in
+        let plen = String.length instr_prefix in
+        if
+          String.length name > plen + 1
+          && String.sub name 0 plen = instr_prefix
+          && name.[plen] = '['
+        then
+          let idx =
+            int_of_string
+              (String.sub name (plen + 1) (String.length name - plen - 2))
+          in
+          Some idx
+        else None)
+      nl.Netlist.inputs
+  in
+  let stim ~cycle ~input_index =
+    match classify.(input_index) with
+    | Some bit_idx ->
+      let bundle = words.(cycle mod n_cycles) in
+      let word = bundle.(bit_idx / 32) in
+      Int32.logand (Int32.shift_right_logical word (bit_idx mod 32)) 1l = 1l
+    | None -> fallback ~cycle ~input_index
+  in
+  (stim, n_cycles)
+
+let mean_rate a =
+  if Array.length a.rates = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a.rates /. float_of_int (Array.length a.rates)

@@ -1,0 +1,118 @@
+open Pvtol_netlist
+module Cell_lib = Pvtol_stdcell.Cell
+module Kind = Pvtol_stdcell.Kind
+
+type breakdown = {
+  switching_mw : float;
+  clock_mw : float;
+  leakage_mw : float;
+}
+
+type report = {
+  frequency_mhz : float;
+  total : breakdown;
+  by_stage : (Stage.t * breakdown) list;
+  per_cell : breakdown array;
+}
+
+let zero = { switching_mw = 0.0; clock_mw = 0.0; leakage_mw = 0.0 }
+
+let add a b =
+  {
+    switching_mw = a.switching_mw +. b.switching_mw;
+    clock_mw = a.clock_mw +. b.clock_mw;
+    leakage_mw = a.leakage_mw +. b.leakage_mw;
+  }
+
+let total_mw b = b.switching_mw +. b.clock_mw +. b.leakage_mw
+
+(* Clock-pin energy of a flop, as a fraction of its internal energy;
+   charged every cycle (local clock buffering folded in). *)
+let clock_energy_factor = 1.1
+
+let analyze ?lgate_nm ~vdd ~activity ~wire_length ~clock_ns (nl : Netlist.t) =
+  let lib = nl.Netlist.lib in
+  let process = lib.Cell_lib.process in
+  let lgate_nm =
+    match lgate_nm with
+    | Some f -> f
+    | None -> fun _ -> process.Pvtol_stdcell.Process.l_nominal_nm
+  in
+  let f_hz = 1e9 /. clock_ns in
+  let net_load = Array.make (Netlist.net_count nl) 0.0 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let pins =
+        Array.fold_left
+          (fun acc (cid, _) ->
+            acc +. nl.Netlist.cells.(cid).Netlist.cell.Cell_lib.input_cap)
+          0.0 net.Netlist.sinks
+      in
+      let wire =
+        if net.Netlist.driver = None && Array.length net.Netlist.sinks = 0 then 0.0
+        else lib.Cell_lib.wire_cap_per_um *. wire_length net.Netlist.net_id
+      in
+      net_load.(net.Netlist.net_id) <- pins +. wire)
+    nl.Netlist.nets;
+  let per_stage = Hashtbl.create 8 in
+  let total = ref zero in
+  let per_cell = Array.make (Netlist.cell_count nl) zero in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      let i = c.Netlist.id in
+      let cell = c.Netlist.cell in
+      let v = vdd i in
+      let lg = lgate_nm i in
+      (* fJ * Hz = 1e-15 W; report mW (1e-3 W) => factor 1e-12. *)
+      let e_sw =
+        Cell_lib.switching_energy_fj lib cell ~vdd:v
+          ~load_ff:net_load.(c.Netlist.fanout)
+      in
+      let switching_mw = activity.Gatesim.rates.(i) *. e_sw *. f_hz *. 1e-12 in
+      let clock_mw =
+        if Kind.is_sequential cell.Cell_lib.kind then
+          clock_energy_factor *. cell.Cell_lib.e_internal
+          *. ((v /. process.Pvtol_stdcell.Process.vdd_low) ** 2.0)
+          *. f_hz *. 1e-12
+        else 0.0
+      in
+      (* nW -> mW *)
+      let leakage_mw = Cell_lib.leakage_nw lib cell ~vdd:v ~lgate_nm:lg *. 1e-6 in
+      let b = { switching_mw; clock_mw; leakage_mw } in
+      per_cell.(i) <- b;
+      total := add !total b;
+      let cur =
+        Option.value (Hashtbl.find_opt per_stage c.Netlist.stage) ~default:zero
+      in
+      Hashtbl.replace per_stage c.Netlist.stage (add cur b))
+    nl.Netlist.cells;
+  let by_stage =
+    List.filter_map
+      (fun s ->
+        Option.map (fun b -> (s, b)) (Hashtbl.find_opt per_stage s))
+      Stage.all
+  in
+  { frequency_mhz = 1000.0 /. clock_ns; total = !total; by_stage; per_cell }
+
+let sum_cells r select =
+  let acc = ref zero in
+  Array.iteri (fun i b -> if select i then acc := add !acc b) r.per_cell;
+  !acc
+
+let stage_breakdown r s =
+  List.find_map
+    (fun (st, b) -> if Stage.equal st s then Some b else None)
+    r.by_stage
+
+let pp fmt r =
+  Format.fprintf fmt
+    "power @ %.1f MHz: total %.2f mW (switching %.2f, clock %.2f, leakage %.3f = %.1f%%)@."
+    r.frequency_mhz (total_mw r.total) r.total.switching_mw r.total.clock_mw
+    r.total.leakage_mw
+    (100.0 *. r.total.leakage_mw /. total_mw r.total);
+  List.iter
+    (fun (s, b) ->
+      Format.fprintf fmt "  %-14s %6.2f mW (%.2f%%)@." (Stage.name s)
+        (total_mw b)
+        (100.0 *. total_mw b /. total_mw r.total))
+    r.by_stage

@@ -1,0 +1,1 @@
+lib/ssta/analytic.ml: Array Float Hashtbl List Netlist Option Pvtol_netlist Pvtol_stdcell Pvtol_timing Pvtol_util Pvtol_variation Stage

@@ -1,0 +1,1 @@
+lib/ssta/analytic.mli: Netlist Pvtol_netlist Pvtol_timing Pvtol_variation Stage

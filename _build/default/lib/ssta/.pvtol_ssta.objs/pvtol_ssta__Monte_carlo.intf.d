@@ -1,0 +1,1 @@
+lib/ssta/monte_carlo.mli: Hashtbl Netlist Pvtol_netlist Pvtol_place Pvtol_timing Pvtol_util Pvtol_variation Stage

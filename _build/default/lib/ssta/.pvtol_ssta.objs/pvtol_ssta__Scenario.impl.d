@@ -1,0 +1,1 @@
+lib/ssta/scenario.ml: Float Format List Monte_carlo Pvtol_netlist Pvtol_variation Stage String

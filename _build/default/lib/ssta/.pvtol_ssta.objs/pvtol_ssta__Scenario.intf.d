@@ -1,0 +1,1 @@
+lib/ssta/scenario.mli: Format Monte_carlo Pvtol_netlist Pvtol_variation Stage

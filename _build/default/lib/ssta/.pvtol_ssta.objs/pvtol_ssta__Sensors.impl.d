@@ -1,0 +1,1 @@
+lib/ssta/sensors.ml: Array Format Hashtbl List Monte_carlo Netlist Pvtol_netlist Pvtol_stdcell Stage

@@ -1,0 +1,1 @@
+lib/ssta/sensors.mli: Format Monte_carlo Netlist Pvtol_netlist Stage

@@ -1,0 +1,116 @@
+open Pvtol_netlist
+module Sta = Pvtol_timing.Sta
+module Sampler = Pvtol_variation.Sampler
+module Specfun = Pvtol_util.Specfun
+
+type gaussian = { mean : float; var : float }
+
+(* Standard normal pdf / cdf. *)
+let phi x = exp (-0.5 *. x *. x) /. sqrt (2.0 *. Float.pi)
+let cap_phi x = Specfun.normal_cdf ~mu:0.0 ~sigma:1.0 x
+
+let clark_max a b =
+  let theta2 = a.var +. b.var in
+  if theta2 < 1e-24 then if a.mean >= b.mean then a else b
+  else begin
+    let theta = sqrt theta2 in
+    let alpha = (a.mean -. b.mean) /. theta in
+    let t = cap_phi alpha in
+    let mean =
+      (a.mean *. t) +. (b.mean *. (1.0 -. t)) +. (theta *. phi alpha)
+    in
+    let second =
+      ((a.var +. (a.mean *. a.mean)) *. t)
+      +. ((b.var +. (b.mean *. b.mean)) *. (1.0 -. t))
+      +. ((a.mean +. b.mean) *. theta *. phi alpha)
+    in
+    { mean; var = Float.max 0.0 (second -. (mean *. mean)) }
+  end
+
+type result = {
+  stage_delay : (Stage.t * gaussian) list;
+  worst : gaussian;
+}
+
+let analyze ~sta ~sampler ~systematic ?vdd () =
+  let nl = Sta.netlist sta in
+  let lib = nl.Netlist.lib in
+  let vdd =
+    match vdd with
+    | Some f -> f
+    | None ->
+      let low = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
+      fun _ -> low
+  in
+  let base = Sta.nominal_delays sta in
+  let n = Netlist.cell_count nl in
+  (* Per-cell delay distribution: the mean follows the systematic Lgate,
+     the standard deviation is the first-order sensitivity to one sigma
+     of the random component. *)
+  let delay = Array.make n { mean = 0.0; var = 0.0 } in
+  for i = 0 to n - 1 do
+    let v = vdd i in
+    let s0 = Sampler.delay_scale sampler ~lgate_nm:systematic.(i) ~vdd:v in
+    let s1 =
+      Sampler.delay_scale sampler
+        ~lgate_nm:(systematic.(i) +. sampler.Sampler.sigma_rnd_nm)
+        ~vdd:v
+    in
+    let mean = base.(i) *. s0 in
+    let sigma = base.(i) *. Float.abs (s1 -. s0) in
+    delay.(i) <- { mean; var = sigma *. sigma }
+  done;
+  let zero = { mean = 0.0; var = 0.0 } in
+  let arrival = Array.make (Netlist.net_count nl) zero in
+  let shift g dt = { g with mean = g.mean +. dt } in
+  let add a b = { mean = a.mean +. b.mean; var = a.var +. b.var } in
+  Array.iter
+    (fun cid -> arrival.(nl.Netlist.cells.(cid).Netlist.fanout) <- delay.(cid))
+    (Sta.flop_ids sta);
+  Array.iter
+    (fun cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let acc = ref zero in
+      let first = ref true in
+      Array.iteri
+        (fun pin nid ->
+          let a = shift arrival.(nid) (Sta.pin_wire_delay sta cid pin) in
+          if !first then begin
+            acc := a;
+            first := false
+          end
+          else acc := clark_max !acc a)
+        c.Netlist.fanins;
+      arrival.(c.Netlist.fanout) <- add !acc delay.(cid))
+    (Sta.comb_order sta);
+  let setup = lib.Pvtol_stdcell.Cell.setup in
+  let per_stage = Hashtbl.create 8 in
+  let worst = ref zero in
+  let worst_set = ref false in
+  Array.iter
+    (fun cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let d_pin = c.Netlist.fanins.(0) in
+      let ep =
+        shift arrival.(d_pin) (Sta.pin_wire_delay sta cid 0 +. setup)
+      in
+      if !worst_set then worst := clark_max !worst ep
+      else begin
+        worst := ep;
+        worst_set := true
+      end;
+      match Sta.capture_stage_of sta cid with
+      | Some stage ->
+        let cur = Hashtbl.find_opt per_stage stage in
+        Hashtbl.replace per_stage stage
+          (match cur with None -> ep | Some g -> clark_max g ep)
+      | None -> ())
+    (Sta.flop_ids sta);
+  let stage_delay =
+    List.filter_map
+      (fun s -> Option.map (fun g -> (s, g)) (Hashtbl.find_opt per_stage s))
+      Stage.all
+  in
+  { stage_delay; worst = !worst }
+
+let three_sigma g = g.mean +. (3.0 *. sqrt g.var)

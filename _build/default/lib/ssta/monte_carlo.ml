@@ -1,0 +1,90 @@
+open Pvtol_netlist
+module Sta = Pvtol_timing.Sta
+module Sampler = Pvtol_variation.Sampler
+module Position = Pvtol_variation.Position
+module Srng = Pvtol_util.Srng
+module Stats = Pvtol_util.Stats
+module Fit = Pvtol_util.Fit
+
+type config = { samples : int; seed : int }
+
+let default_config = { samples = 400; seed = 2024 }
+
+type stage_stats = {
+  stage : Stage.t;
+  samples : float array;
+  summary : Stats.summary;
+  fit : Fit.normal;
+  gof : Fit.gof;
+}
+
+type result = {
+  position : Position.t;
+  stages : stage_stats list;
+  worst_samples : float array;
+  endpoint_critical_count : (Netlist.cell_id, int) Hashtbl.t;
+}
+
+let run ?(config = default_config) ?vdd ~sampler ~sta ~placement ~position () =
+  let nl = Sta.netlist sta in
+  let vdd =
+    match vdd with
+    | Some f -> f
+    | None ->
+      let low = nl.Netlist.lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
+      fun _ -> low
+  in
+  let n = Netlist.cell_count nl in
+  let rng = Srng.create config.seed in
+  let systematic = Sampler.systematic_lgates sampler placement position in
+  let base = Sta.nominal_delays sta in
+  let lgates = Array.make n 0.0 in
+  let delays = Array.make n 0.0 in
+  let stage_samples =
+    List.filter_map
+      (fun s ->
+        if Sta.endpoints_of_stage sta s <> [] then
+          Some (s, Array.make config.samples 0.0)
+        else None)
+      Stage.all
+  in
+  let worst_samples = Array.make config.samples 0.0 in
+  let critical_count = Hashtbl.create 256 in
+  for k = 0 to config.samples - 1 do
+    Sampler.sample_lgates sampler ~systematic rng lgates;
+    Sampler.scale_delays sampler ~base ~lgates ~vdd ~out:delays;
+    let r = Sta.analyze sta ~delays in
+    worst_samples.(k) <- r.Sta.worst;
+    List.iter
+      (fun (s, arr) ->
+        match Sta.stage_delay r s with
+        | Some d -> arr.(k) <- d
+        | None -> ())
+      stage_samples;
+    (* Endpoint criticality: flops within 2% of their stage's worst. *)
+    List.iter
+      (fun (s, _) ->
+        match Sta.stage_delay r s with
+        | None -> ()
+        | Some stage_worst ->
+          List.iter
+            (fun cid ->
+              if r.Sta.endpoint_delay.(cid) >= 0.98 *. stage_worst then
+                Hashtbl.replace critical_count cid
+                  (1 + Option.value (Hashtbl.find_opt critical_count cid) ~default:0))
+            (Sta.endpoints_of_stage sta s))
+      stage_samples
+  done;
+  let stages =
+    List.map
+      (fun (stage, samples) ->
+        let fit, gof = Fit.fit_and_test samples in
+        { stage; samples; summary = Stats.summarize samples; fit; gof })
+      stage_samples
+  in
+  { position; stages; worst_samples; endpoint_critical_count = critical_count }
+
+let stage_stats r s =
+  List.find_opt (fun ss -> Stage.equal ss.stage s) r.stages
+
+let three_sigma_delay ss = Stats.three_sigma ss.summary

@@ -1,0 +1,52 @@
+(** Monte Carlo statistical static timing analysis (paper §4.3).
+
+    Each sample draws a fresh per-gate Lgate realisation at the chosen
+    die position, rescales the nominal delays and re-runs STA; the
+    per-stage worst path delays are accumulated into distributions that
+    are then fitted to normals with a chi-square acceptance test, as
+    the paper does.  A per-cell supply assignment makes the same engine
+    serve both the plain SSTA of Fig. 3 and the voltage-island
+    compensation checks of §4.5. *)
+
+open Pvtol_netlist
+
+type config = {
+  samples : int;
+  seed : int;
+}
+
+val default_config : config
+(** 400 samples, seed 2024. *)
+
+type stage_stats = {
+  stage : Stage.t;
+  samples : float array;        (** per-sample worst path delay, ns *)
+  summary : Pvtol_util.Stats.summary;
+  fit : Pvtol_util.Fit.normal;
+  gof : Pvtol_util.Fit.gof;
+}
+
+type result = {
+  position : Pvtol_variation.Position.t;
+  stages : stage_stats list;    (** timing stages with endpoints *)
+  worst_samples : float array;  (** global critical-path delay samples *)
+  endpoint_critical_count : (Netlist.cell_id, int) Hashtbl.t;
+      (** how often each flop was within 2% of the sample's worst
+          stage delay — the raw data for Razor site selection *)
+}
+
+val run :
+  ?config:config ->
+  ?vdd:(Netlist.cell_id -> float) ->
+  sampler:Pvtol_variation.Sampler.t ->
+  sta:Pvtol_timing.Sta.t ->
+  placement:Pvtol_place.Placement.t ->
+  position:Pvtol_variation.Position.t ->
+  unit ->
+  result
+(** [vdd] defaults to the library's low supply for every cell. *)
+
+val stage_stats : result -> Stage.t -> stage_stats option
+
+val three_sigma_delay : stage_stats -> float
+(** mean + 3 sigma of the stage's worst-delay distribution. *)

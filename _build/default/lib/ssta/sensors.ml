@@ -1,0 +1,79 @@
+open Pvtol_netlist
+
+type site = {
+  endpoint : Netlist.cell_id;
+  stage : Stage.t;
+  criticality : float;
+}
+
+type plan = {
+  sites : site list;
+  per_stage : (Stage.t * int) list;
+  area_overhead : float;
+  area_overhead_frac : float;
+}
+
+(* Extra area of a Razor flop over a plain flop: shadow latch,
+   metastability detector and restore mux. *)
+let razor_area_factor = 0.7
+
+let select ?(min_criticality = 0.01) (mc : Monte_carlo.result) nl =
+  let total_samples =
+    match mc.Monte_carlo.stages with
+    | s :: _ -> Array.length s.Monte_carlo.samples
+    | [] -> 1
+  in
+  let stage_of = Hashtbl.create 16 in
+  List.iter
+    (fun (ss : Monte_carlo.stage_stats) ->
+      Hashtbl.replace stage_of ss.Monte_carlo.stage ())
+    mc.Monte_carlo.stages;
+  let sites =
+    Hashtbl.fold
+      (fun cid count acc ->
+        let crit = float_of_int count /. float_of_int total_samples in
+        if crit >= min_criticality then
+          let cell = nl.Netlist.cells.(cid) in
+          (* capture stage is recorded via the MC run's stage set; find
+             it from the unit tag used by the design's classifier. *)
+          let stage =
+            match cell.Netlist.unit_name with
+            | "pipe_fe_dc" | "fetch" -> Stage.Fetch
+            | "pipe_dc_ex" -> Stage.Decode
+            | "pipe_ex_wb" -> Stage.Execute
+            | _ -> Stage.Writeback
+          in
+          { endpoint = cid; stage; criticality = crit } :: acc
+        else acc)
+      mc.Monte_carlo.endpoint_critical_count []
+    |> List.sort (fun a b -> compare b.criticality a.criticality)
+  in
+  let per_stage =
+    List.filter_map
+      (fun s ->
+        let n = List.length (List.filter (fun site -> Stage.equal site.stage s) sites) in
+        if n > 0 then Some (s, n) else None)
+      Stage.all
+  in
+  let area_overhead =
+    List.fold_left
+      (fun acc site ->
+        acc
+        +. razor_area_factor
+           *. nl.Netlist.cells.(site.endpoint).Netlist.cell.Pvtol_stdcell.Cell.area)
+      0.0 sites
+  in
+  {
+    sites;
+    per_stage;
+    area_overhead;
+    area_overhead_frac = area_overhead /. Netlist.area nl;
+  }
+
+let pp fmt plan =
+  Format.fprintf fmt "razor sensor plan: %d sites, %.0f um^2 (%.3f%% of core)@."
+    (List.length plan.sites) plan.area_overhead
+    (100.0 *. plan.area_overhead_frac);
+  List.iter
+    (fun (s, n) -> Format.fprintf fmt "  %-12s %d monitored flops@." (Stage.name s) n)
+    plan.per_stage

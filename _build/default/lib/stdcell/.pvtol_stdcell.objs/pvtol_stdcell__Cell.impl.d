@@ -1,0 +1,1 @@
+lib/stdcell/cell.ml: Kind List Process String

@@ -1,0 +1,1 @@
+lib/stdcell/cell.mli: Kind Process

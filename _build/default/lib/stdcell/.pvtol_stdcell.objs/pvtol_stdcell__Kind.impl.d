@@ -1,0 +1,1 @@
+lib/stdcell/kind.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/stdcell/kind.mli: Format

@@ -1,0 +1,1 @@
+lib/stdcell/liberty.ml: Buffer Cell Fun Hashtbl Kind List Printf Process String

@@ -1,0 +1,79 @@
+type t =
+  | Inv
+  | Buf
+  | Nand2
+  | Nand3
+  | Nor2
+  | Nor3
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Aoi21
+  | Oai21
+  | Mux2
+  | Dff
+  | Ls
+  | Tiehi
+  | Tielo
+
+let all =
+  [ Inv; Buf; Nand2; Nand3; Nor2; Nor3; And2; Or2; Xor2; Xnor2; Aoi21; Oai21;
+    Mux2; Dff; Ls; Tiehi; Tielo ]
+
+let arity = function
+  | Inv | Buf | Dff | Ls -> 1
+  | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 -> 2
+  | Nand3 | Nor3 | Aoi21 | Oai21 | Mux2 -> 3
+  | Tiehi | Tielo -> 0
+
+let is_sequential = function Dff -> true | _ -> false
+let is_level_shifter = function Ls -> true | _ -> false
+
+let eval k ins =
+  if Array.length ins <> arity k then
+    invalid_arg "Kind.eval: arity mismatch";
+  match k with
+  | Inv -> not ins.(0)
+  | Buf | Dff | Ls -> ins.(0)
+  | Nand2 -> not (ins.(0) && ins.(1))
+  | Nand3 -> not (ins.(0) && ins.(1) && ins.(2))
+  | Nor2 -> not (ins.(0) || ins.(1))
+  | Nor3 -> not (ins.(0) || ins.(1) || ins.(2))
+  | And2 -> ins.(0) && ins.(1)
+  | Or2 -> ins.(0) || ins.(1)
+  | Xor2 -> ins.(0) <> ins.(1)
+  | Xnor2 -> ins.(0) = ins.(1)
+  | Aoi21 -> not ((ins.(0) && ins.(1)) || ins.(2))
+  | Oai21 -> not ((ins.(0) || ins.(1)) && ins.(2))
+  | Mux2 -> if ins.(2) then ins.(1) else ins.(0)
+  | Tiehi -> true
+  | Tielo -> false
+
+let name = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nand3 -> "NAND3"
+  | Nor2 -> "NOR2"
+  | Nor3 -> "NOR3"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+  | Mux2 -> "MUX2"
+  | Dff -> "DFF"
+  | Ls -> "LS"
+  | Tiehi -> "TIEHI"
+  | Tielo -> "TIELO"
+
+let of_name s =
+  let rec find = function
+    | [] -> None
+    | k :: rest -> if String.equal (name k) s then Some k else find rest
+  in
+  find all
+
+let pp fmt k = Format.pp_print_string fmt (name k)

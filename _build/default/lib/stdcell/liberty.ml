@@ -1,0 +1,207 @@
+exception Parse_error of string
+
+let to_string (lib : Cell.library) =
+  let b = Buffer.create 4096 in
+  let p = lib.process in
+  Buffer.add_string b (Printf.sprintf "library (%s) {\n" lib.name);
+  let attr name v = Buffer.add_string b (Printf.sprintf "  %s : %.9g;\n" name v) in
+  attr "l_nominal_nm" p.Process.l_nominal_nm;
+  attr "vdd_low" p.Process.vdd_low;
+  attr "vdd_high" p.Process.vdd_high;
+  attr "vth0" p.Process.vth0;
+  attr "alpha" p.Process.alpha;
+  attr "alpha_dibl" p.Process.alpha_dibl;
+  attr "subthreshold_swing" p.Process.subthreshold_swing;
+  attr "wire_cap_per_um" lib.wire_cap_per_um;
+  attr "wire_delay_per_um" lib.wire_delay_per_um;
+  attr "clk_to_q" lib.clk_to_q;
+  attr "setup" lib.setup;
+  List.iter
+    (fun (c : Cell.t) ->
+      Buffer.add_string b (Printf.sprintf "  cell (%s) {\n" (Cell.cell_name c));
+      let cattr name v =
+        Buffer.add_string b (Printf.sprintf "    %s : %.9g;\n" name v)
+      in
+      cattr "area" c.area;
+      cattr "input_cap" c.input_cap;
+      cattr "intrinsic_delay" c.d0;
+      cattr "drive_res" c.drive_res;
+      cattr "internal_energy" c.e_internal;
+      cattr "leakage" c.leak;
+      Buffer.add_string b "  }\n")
+    lib.cells;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write_file path lib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string lib))
+
+(* --- Parsing --- *)
+
+type token = Ident of string | Num of float | Lbrace | Rbrace | Lparen | Rparen | Colon | Semi
+
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '{' then begin toks := (Lbrace, !line) :: !toks; incr i end
+    else if c = '}' then begin toks := (Rbrace, !line) :: !toks; incr i end
+    else if c = '(' then begin toks := (Lparen, !line) :: !toks; incr i end
+    else if c = ')' then begin toks := (Rparen, !line) :: !toks; incr i end
+    else if c = ':' then begin toks := (Colon, !line) :: !toks; incr i end
+    else if c = ';' then begin toks := (Semi, !line) :: !toks; incr i end
+    else begin
+      let start = !i in
+      let is_word c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        || c = '_' || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+      in
+      while !i < n && is_word src.[!i] do incr i done;
+      if !i = start then fail (Printf.sprintf "unexpected character %C" c);
+      let word = String.sub src start (!i - start) in
+      match float_of_string_opt word with
+      | Some v -> toks := (Num v, !line) :: !toks
+      | None -> toks := (Ident word, !line) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let of_string src =
+  let toks = ref (tokenize src) in
+  let fail msg line = raise (Parse_error (Printf.sprintf "line %d: %s" line msg)) in
+  let next () =
+    match !toks with
+    | [] -> raise (Parse_error "unexpected end of input")
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let expect tok what =
+    let t, line = next () in
+    if t <> tok then fail (Printf.sprintf "expected %s" what) line
+  in
+  let ident what =
+    match next () with
+    | Ident s, _ -> s
+    | _, line -> fail (Printf.sprintf "expected %s" what) line
+  in
+  let number what =
+    match next () with
+    | Num v, _ -> v
+    | _, line -> fail (Printf.sprintf "expected number for %s" what) line
+  in
+  let lib_attrs = Hashtbl.create 16 in
+  let cells = ref [] in
+  let parse_cell name =
+    expect Lbrace "'{'";
+    let attrs = Hashtbl.create 8 in
+    let rec loop () =
+      match next () with
+      | Rbrace, _ -> ()
+      | Ident key, _ ->
+        expect Colon "':'";
+        let v = number key in
+        expect Semi "';'";
+        Hashtbl.replace attrs key v;
+        loop ()
+      | _, line -> fail "expected attribute or '}'" line
+    in
+    loop ();
+    let get key =
+      match Hashtbl.find_opt attrs key with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "cell %s: missing %s" name key))
+    in
+    let kind_str, drive_str =
+      match String.rindex_opt name '_' with
+      | Some i ->
+        (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+      | None -> raise (Parse_error (Printf.sprintf "bad cell name %s" name))
+    in
+    let kind =
+      match Kind.of_name kind_str with
+      | Some k -> k
+      | None -> raise (Parse_error (Printf.sprintf "unknown cell kind %s" kind_str))
+    in
+    let drive =
+      match Cell.drive_of_name drive_str with
+      | Some d -> d
+      | None -> raise (Parse_error (Printf.sprintf "unknown drive %s" drive_str))
+    in
+    cells :=
+      {
+        Cell.kind;
+        drive;
+        area = get "area";
+        input_cap = get "input_cap";
+        d0 = get "intrinsic_delay";
+        drive_res = get "drive_res";
+        e_internal = get "internal_energy";
+        leak = get "leakage";
+      }
+      :: !cells
+  in
+  expect (Ident "library") "'library'";
+  expect Lparen "'('";
+  let lib_name = ident "library name" in
+  expect Rparen "')'";
+  expect Lbrace "'{'";
+  let rec body () =
+    match next () with
+    | Rbrace, _ -> ()
+    | Ident "cell", _ ->
+      expect Lparen "'('";
+      let name = ident "cell name" in
+      expect Rparen "')'";
+      parse_cell name;
+      body ()
+    | Ident key, _ ->
+      expect Colon "':'";
+      let v = number key in
+      expect Semi "';'";
+      Hashtbl.replace lib_attrs key v;
+      body ()
+    | _, line -> fail "expected attribute, cell or '}'" line
+  in
+  body ();
+  let get key =
+    match Hashtbl.find_opt lib_attrs key with
+    | Some v -> v
+    | None -> raise (Parse_error (Printf.sprintf "missing library attribute %s" key))
+  in
+  {
+    Cell.name = lib_name;
+    process =
+      {
+        Process.l_nominal_nm = get "l_nominal_nm";
+        vdd_low = get "vdd_low";
+        vdd_high = get "vdd_high";
+        vth0 = get "vth0";
+        alpha = get "alpha";
+        alpha_dibl = get "alpha_dibl";
+        subthreshold_swing = get "subthreshold_swing";
+      };
+    cells = List.rev !cells;
+    wire_cap_per_um = get "wire_cap_per_um";
+    wire_delay_per_um = get "wire_delay_per_um";
+    clk_to_q = get "clk_to_q";
+    setup = get "setup";
+  }
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,20 @@
+(** Writer and parser for a Liberty-style subset describing the cell
+    library.  The commercial flow the paper relies on exchanges library
+    data in Liberty format; this module provides the equivalent
+    interchange point so a library can be dumped, edited and reloaded
+    (e.g. to explore a different characterisation). *)
+
+val to_string : Cell.library -> string
+(** Serialize a library, including process parameters, wire models and
+    every cell's characterisation. *)
+
+val write_file : string -> Cell.library -> unit
+
+exception Parse_error of string
+(** Raised with a message including the offending line number. *)
+
+val of_string : string -> Cell.library
+(** Parse a library serialized by {!to_string} (whitespace-insensitive;
+    comments introduced by [//] run to end of line). *)
+
+val read_file : string -> Cell.library

@@ -1,0 +1,71 @@
+type t = {
+  l_nominal_nm : float;
+  vdd_low : float;
+  vdd_high : float;
+  vth0 : float;
+  alpha : float;
+  alpha_dibl : float;
+  subthreshold_swing : float;
+}
+
+let default =
+  {
+    l_nominal_nm = 65.0;
+    vdd_low = 1.0;
+    vdd_high = 1.2;
+    vth0 = 0.32;
+    alpha = 1.3;
+    alpha_dibl = 0.08;
+    subthreshold_swing = 0.035;
+  }
+
+let paper_literal = { default with alpha_dibl = 0.15 }
+
+let vth_eff t ~vdd ~lgate_nm = t.vth0 -. (vdd *. exp (-.t.alpha_dibl *. lgate_nm))
+
+let raw_delay t ~vdd ~lgate_nm =
+  let vth = vth_eff t ~vdd ~lgate_nm in
+  (lgate_nm ** 1.5) *. vdd /. ((vdd -. vth) ** t.alpha)
+
+let delay_scale t ~vdd ~lgate_nm =
+  raw_delay t ~vdd ~lgate_nm /. raw_delay t ~vdd:t.vdd_low ~lgate_nm:t.l_nominal_nm
+
+let leakage_scale t ~vdd ~lgate_nm =
+  let vth = vth_eff t ~vdd ~lgate_nm in
+  let vth_nom = vth_eff t ~vdd:t.vdd_low ~lgate_nm:t.l_nominal_nm in
+  exp ((vth_nom -. vth) /. t.subthreshold_swing) *. ((vdd /. t.vdd_low) ** 2.0)
+
+let speedup_high_vdd t =
+  delay_scale t ~vdd:t.vdd_low ~lgate_nm:t.l_nominal_nm
+  /. delay_scale t ~vdd:t.vdd_high ~lgate_nm:t.l_nominal_nm
+
+(* --- adaptive body bias --- *)
+
+let body_factor = 0.12
+
+let raw_delay_vth t ~vdd ~lgate_nm ~dvth =
+  let vth = vth_eff t ~vdd ~lgate_nm +. dvth in
+  (lgate_nm ** 1.5) *. vdd /. ((vdd -. vth) ** t.alpha)
+
+let abb_delay_scale t ~vbb ~lgate_nm =
+  raw_delay_vth t ~vdd:t.vdd_low ~lgate_nm ~dvth:(-.body_factor *. vbb)
+  /. raw_delay t ~vdd:t.vdd_low ~lgate_nm:t.l_nominal_nm
+
+let abb_leakage_scale t ~vbb ~lgate_nm =
+  let dvth = -.body_factor *. vbb in
+  let vth = vth_eff t ~vdd:t.vdd_low ~lgate_nm +. dvth in
+  let vth_nom = vth_eff t ~vdd:t.vdd_low ~lgate_nm:t.l_nominal_nm in
+  exp ((vth_nom -. vth) /. t.subthreshold_swing)
+
+let abb_for_speedup t ~speedup =
+  assert (speedup >= 1.0);
+  let target = 1.0 /. speedup in
+  let at vbb = abb_delay_scale t ~vbb ~lgate_nm:t.l_nominal_nm in
+  if at 1.0 > target then
+    invalid_arg "abb_for_speedup: target beyond 1V forward bias";
+  let lo = ref 0.0 and hi = ref 1.0 in
+  for _ = 1 to 60 do
+    let mid = (!lo +. !hi) /. 2.0 in
+    if at mid > target then lo := mid else hi := mid
+  done;
+  (!lo +. !hi) /. 2.0

@@ -1,0 +1,1 @@
+lib/timing/clock_tree.ml: Array Float Hashtbl List Netlist Option Pvtol_netlist Pvtol_place Pvtol_stdcell

@@ -1,0 +1,1 @@
+lib/timing/clock_tree.mli: Netlist Pvtol_netlist Pvtol_place

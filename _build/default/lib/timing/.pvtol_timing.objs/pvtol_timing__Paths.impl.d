@@ -1,0 +1,1 @@
+lib/timing/paths.ml: Array Hashtbl List Netlist Option Pvtol_netlist Pvtol_stdcell Sta Stage

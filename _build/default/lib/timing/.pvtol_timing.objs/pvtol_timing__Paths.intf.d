@@ -1,0 +1,1 @@
+lib/timing/paths.mli: Netlist Pvtol_netlist Sta Stage

@@ -1,0 +1,1 @@
+lib/timing/sdf.ml: Array Buffer Float Fun Hashtbl List Netlist Printf Pvtol_netlist Pvtol_stdcell String

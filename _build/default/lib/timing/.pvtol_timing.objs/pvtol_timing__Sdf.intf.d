@@ -1,0 +1,1 @@
+lib/timing/sdf.mli: Netlist Pvtol_netlist

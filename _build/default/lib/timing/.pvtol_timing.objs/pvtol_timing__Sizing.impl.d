@@ -1,0 +1,1 @@
+lib/timing/sizing.ml: Array Float Hashtbl List Netlist Pvtol_netlist Pvtol_stdcell Sta Stage

@@ -1,0 +1,1 @@
+lib/timing/sizing.mli: Netlist Pvtol_netlist Stage

@@ -1,0 +1,1 @@
+lib/timing/spef.ml: Array Buffer Fun List Netlist Printf Pvtol_netlist Pvtol_place Pvtol_stdcell Sta String

@@ -1,0 +1,1 @@
+lib/timing/spef.mli: Netlist Pvtol_netlist Pvtol_place Sta Stage

@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Float Hashtbl List Netlist Pvtol_netlist Pvtol_place Pvtol_stdcell Queue Stage

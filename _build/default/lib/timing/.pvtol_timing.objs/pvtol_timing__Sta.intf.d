@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Netlist Pvtol_netlist Pvtol_place Stage

@@ -1,0 +1,72 @@
+open Pvtol_netlist
+module Kind = Pvtol_stdcell.Kind
+
+type hop = { cell : Netlist.cell_id; arrival_out : float }
+
+type path = {
+  endpoint : Netlist.cell_id;
+  delay : float;
+  hops : hop list;
+}
+
+let is_seq (nl : Netlist.t) cid =
+  Kind.is_sequential nl.Netlist.cells.(cid).Netlist.cell.Pvtol_stdcell.Cell.kind
+
+let trace t ~delays (r : Sta.result) endpoint =
+  let nl = Sta.netlist t in
+  (* Walk backwards: at each cell pick the fanin pin whose arrival
+     (including wire) dominates. *)
+  let rec walk cid acc =
+    let c = nl.Netlist.cells.(cid) in
+    let acc = { cell = cid; arrival_out = r.Sta.arrival.(c.Netlist.fanout) } :: acc in
+    if is_seq nl cid then acc
+    else begin
+      let best = ref None and best_a = ref neg_infinity in
+      Array.iter
+        (fun nid ->
+          let a = r.Sta.arrival.(nid) in
+          if a > !best_a then begin
+            best_a := a;
+            best := nl.Netlist.nets.(nid).Netlist.driver
+          end)
+        c.Netlist.fanins;
+      match !best with
+      | Some prev -> walk prev acc
+      | None -> acc (* reached a primary input *)
+    end
+  in
+  let c = nl.Netlist.cells.(endpoint) in
+  let d_net = c.Netlist.fanins.(0) in
+  let start =
+    match nl.Netlist.nets.(d_net).Netlist.driver with
+    | Some prev -> walk prev []
+    | None -> []
+  in
+  ignore delays;
+  { endpoint; delay = r.Sta.endpoint_delay.(endpoint); hops = start }
+
+let critical t ~delays (r : Sta.result) =
+  if r.Sta.worst_endpoint < 0 then None
+  else Some (trace t ~delays r r.Sta.worst_endpoint)
+
+let worst_endpoints ?stage t (r : Sta.result) ~k =
+  let eps =
+    match stage with
+    | Some s -> Sta.endpoints_of_stage t s
+    | None ->
+      List.concat_map (fun s -> Sta.endpoints_of_stage t s) Stage.all
+  in
+  let scored = List.map (fun cid -> (cid, r.Sta.endpoint_delay.(cid))) eps in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) scored in
+  List.filteri (fun i _ -> i < k) sorted
+
+let stage_share t path =
+  let nl = Sta.netlist t in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun { cell; _ } ->
+      let u = nl.Netlist.cells.(cell).Netlist.unit_name in
+      Hashtbl.replace tbl u (1 + Option.value (Hashtbl.find_opt tbl u) ~default:0))
+    path.hops;
+  Hashtbl.fold (fun u n acc -> (u, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

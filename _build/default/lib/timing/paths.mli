@@ -1,0 +1,32 @@
+(** Critical-path extraction and near-critical endpoint enumeration
+    (the input to Razor-sensor site selection, paper §4.4). *)
+
+open Pvtol_netlist
+
+type hop = {
+  cell : Netlist.cell_id;
+  arrival_out : float;  (** arrival at the cell's output net *)
+}
+
+type path = {
+  endpoint : Netlist.cell_id;   (** capturing flop *)
+  delay : float;                (** endpoint path delay (incl. setup) *)
+  hops : hop list;              (** launch-to-capture, in signal order *)
+}
+
+val trace : Sta.t -> delays:float array -> Sta.result -> Netlist.cell_id -> path
+(** Reconstruct the worst path into the given flop by backtracking the
+    max-arrival fanin at every hop. *)
+
+val critical : Sta.t -> delays:float array -> Sta.result -> path option
+(** The design's critical path ([None] for a flop-free netlist). *)
+
+val worst_endpoints :
+  ?stage:Stage.t -> Sta.t -> Sta.result -> k:int -> (Netlist.cell_id * float) list
+(** The [k] endpoints with the largest path delays, optionally
+    restricted to one capture stage; sorted slowest first. *)
+
+val stage_share : Sta.t -> path -> (string * int) list
+(** Per functional-unit hop counts along a path — reproduces statements
+    like "the critical path ... going through a forwarding unit (22%)
+    and an ALU (60%)". *)

@@ -1,0 +1,102 @@
+open Pvtol_netlist
+module Cell_lib = Pvtol_stdcell.Cell
+
+exception Parse_error of string
+
+let to_string (nl : Netlist.t) ~delays =
+  let b = Buffer.create (Netlist.cell_count nl * 80) in
+  Buffer.add_string b "(DELAYFILE\n";
+  Buffer.add_string b (Printf.sprintf " (DESIGN \"%s\")\n" nl.Netlist.design_name);
+  Buffer.add_string b " (TIMESCALE 1ns)\n";
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           " (CELL (CELLTYPE \"%s\") (INSTANCE %s) (DELAY (ABSOLUTE (IOPATH i o (%.6f)))))\n"
+           (Cell_lib.cell_name c.Netlist.cell)
+           c.Netlist.name delays.(c.Netlist.id)))
+    nl.Netlist.cells;
+  Buffer.add_string b ")\n";
+  Buffer.contents b
+
+let write_file path nl ~delays =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string nl ~delays))
+
+(* A line-oriented scan is enough for the subset we emit. *)
+let scan_line line =
+  (* Expected shape: ... (INSTANCE name) ... (IOPATH i o (delay)) ... *)
+  let find_after key =
+    let klen = String.length key in
+    let rec search from =
+      match String.index_from_opt line from '(' with
+      | None -> None
+      | Some i ->
+        if i + 1 + klen <= String.length line && String.sub line (i + 1) klen = key
+        then Some (i + 1 + klen)
+        else search (i + 1)
+    in
+    search 0
+  in
+  match find_after "INSTANCE " with
+  | None -> None
+  | Some start ->
+    let close =
+      match String.index_from_opt line start ')' with
+      | Some i -> i
+      | None -> raise (Parse_error ("malformed INSTANCE: " ^ line))
+    in
+    let name = String.trim (String.sub line start (close - start)) in
+    (match find_after "IOPATH i o (" with
+    | None -> raise (Parse_error ("missing IOPATH: " ^ line))
+    | Some dstart ->
+      let dclose =
+        match String.index_from_opt line dstart ')' with
+        | Some i -> i
+        | None -> raise (Parse_error ("malformed IOPATH: " ^ line))
+      in
+      let txt = String.trim (String.sub line dstart (dclose - dstart)) in
+      (match float_of_string_opt txt with
+      | Some v -> Some (name, v)
+      | None -> raise (Parse_error ("bad delay value: " ^ txt))))
+
+let of_string (nl : Netlist.t) src =
+  let by_name = Hashtbl.create (Netlist.cell_count nl) in
+  Array.iter
+    (fun (c : Netlist.cell) -> Hashtbl.replace by_name c.Netlist.name c.Netlist.id)
+    nl.Netlist.cells;
+  let delays = Array.make (Netlist.cell_count nl) nan in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         if String.length line > 6 && String.contains line 'C' then
+           match scan_line line with
+           | Some (name, v) -> begin
+             match Hashtbl.find_opt by_name name with
+             | Some id -> delays.(id) <- v
+             | None -> raise (Parse_error ("unknown instance " ^ name))
+           end
+           | None -> ());
+  Array.iteri
+    (fun i d ->
+      if Float.is_nan d then
+        raise
+          (Parse_error
+             (Printf.sprintf "missing delay for cell %s"
+                nl.Netlist.cells.(i).Netlist.name)))
+    delays;
+  delays
+
+let read_file nl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string nl (really_input_string ic (in_channel_length ic)))
+
+let rewrite nl src ~f =
+  let delays = of_string nl src in
+  let delays' =
+    Array.mapi (fun i d -> f nl.Netlist.cells.(i) d) delays
+  in
+  to_string nl ~delays:delays'

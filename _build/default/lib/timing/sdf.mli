@@ -1,0 +1,31 @@
+(** SDF-subset writer/parser.
+
+    The paper's variability-injection loop works by exporting the
+    design's delays to SDF, rewriting each cell's delay according to
+    the process-variation model at the cell's location, and re-importing
+    the file into the timing engine (§4.3: "We developed a parser of the
+    sdf file that checks the cell position within the chip, computes
+    effective gate length in that location and modifies its delay
+    accordingly").  This module reproduces that interchange. *)
+
+open Pvtol_netlist
+
+val to_string : Netlist.t -> delays:float array -> string
+(** Serialize per-cell IOPATH delays (ns, three decimals of ps
+    precision). *)
+
+val write_file : string -> Netlist.t -> delays:float array -> unit
+
+exception Parse_error of string
+
+val of_string : Netlist.t -> string -> float array
+(** Read back a per-cell delay array; instances are matched by name.
+    Raises {!Parse_error} on unknown instances or missing delays. *)
+
+val read_file : Netlist.t -> string -> float array
+
+val rewrite :
+  Netlist.t -> string -> f:(Netlist.cell -> float -> float) -> string
+(** [rewrite nl sdf ~f] parses, maps every instance delay through [f]
+    and re-serializes — the paper's SDF-modification step as a single
+    operation. *)

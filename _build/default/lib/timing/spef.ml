@@ -1,0 +1,97 @@
+open Pvtol_netlist
+module Cell_lib = Pvtol_stdcell.Cell
+module Placement = Pvtol_place.Placement
+
+type net_parasitics = {
+  cap_ff : float;
+  wire_delay : float;
+}
+
+exception Parse_error of string
+
+let extract (p : Placement.t) =
+  let nl = p.Placement.netlist in
+  let lib = nl.Netlist.lib in
+  Array.map
+    (fun (net : Netlist.net) ->
+      let dead = net.Netlist.driver = None && Array.length net.Netlist.sinks = 0 in
+      if dead then { cap_ff = 0.0; wire_delay = 0.0 }
+      else begin
+        let length = Placement.wire_length p net.Netlist.net_id in
+        {
+          cap_ff = lib.Cell_lib.wire_cap_per_um *. length;
+          wire_delay = lib.Cell_lib.wire_delay_per_um *. (length /. 2.0);
+        }
+      end)
+    nl.Netlist.nets
+
+let to_string (nl : Netlist.t) parasitics =
+  assert (Array.length parasitics = Netlist.net_count nl);
+  let b = Buffer.create (Netlist.net_count nl * 32) in
+  Buffer.add_string b "*SPEF \"pvtol-lumped\"\n";
+  Buffer.add_string b (Printf.sprintf "*DESIGN %s\n" nl.Netlist.design_name);
+  Buffer.add_string b (Printf.sprintf "*NETS %d\n" (Netlist.net_count nl));
+  Array.iteri
+    (fun i (np : net_parasitics) ->
+      Buffer.add_string b
+        (Printf.sprintf "*D_NET %d %.6f %.9f\n" i np.cap_ff np.wire_delay))
+    parasitics;
+  Buffer.add_string b "*END\n";
+  Buffer.contents b
+
+let write_file path nl parasitics =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string nl parasitics))
+
+let of_string (nl : Netlist.t) src =
+  let n = Netlist.net_count nl in
+  let out = Array.make n None in
+  String.split_on_char '\n' src
+  |> List.iteri (fun lnum line ->
+         let line = String.trim line in
+         if String.length line > 7 && String.sub line 0 7 = "*D_NET " then begin
+           match
+             String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+           with
+           | [ _; id; cap; wd ] -> begin
+             match
+               (int_of_string_opt id, float_of_string_opt cap, float_of_string_opt wd)
+             with
+             | Some id, Some cap_ff, Some wire_delay when id >= 0 && id < n ->
+               out.(id) <- Some { cap_ff; wire_delay }
+             | _ ->
+               raise
+                 (Parse_error (Printf.sprintf "line %d: malformed D_NET" (lnum + 1)))
+           end
+           | _ ->
+             raise (Parse_error (Printf.sprintf "line %d: malformed D_NET" (lnum + 1)))
+         end);
+  Array.mapi
+    (fun i v ->
+      match v with
+      | Some np -> np
+      | None ->
+        let dead =
+          nl.Netlist.nets.(i).Netlist.driver = None
+          && Array.length nl.Netlist.nets.(i).Netlist.sinks = 0
+        in
+        if dead then { cap_ff = 0.0; wire_delay = 0.0 }
+        else raise (Parse_error (Printf.sprintf "net %d missing parasitics" i)))
+    out
+
+let read_file nl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string nl (really_input_string ic (in_channel_length ic)))
+
+let annotate (nl : Netlist.t) parasitics ~capture =
+  assert (Array.length parasitics = Netlist.net_count nl);
+  let lib = nl.Netlist.lib in
+  (* Sta.build consumes a length estimate; inverting the capacitance
+     reproduces both the load and (for extract-produced parasitics) the
+     per-pin wire delay exactly. *)
+  let wire_length nid = parasitics.(nid).cap_ff /. lib.Cell_lib.wire_cap_per_um in
+  Sta.build nl ~wire_length ~capture

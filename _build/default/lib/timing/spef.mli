@@ -1,0 +1,39 @@
+(** SPEF-subset parasitics writer/parser.
+
+    Commercial flows hand extracted parasitics to the timing engine as
+    SPEF; this module provides that interchange for the reproduction's
+    lumped per-net model: total capacitance (fF) and an effective
+    resistance-delay term per net.  {!annotate} rebuilds an STA whose
+    loads come from the annotated capacitances instead of the wireload
+    or HPWL estimates — closing the same estimate-then-extract loop a
+    real flow has. *)
+
+open Pvtol_netlist
+
+type net_parasitics = {
+  cap_ff : float;       (** total net capacitance, fF (wire only) *)
+  wire_delay : float;   (** lumped source-to-sink wire delay, ns *)
+}
+
+val extract : Pvtol_place.Placement.t -> net_parasitics array
+(** Placement-based extraction (the reproduction's ground truth):
+    per-net fanout-corrected wire capacitance and delay. *)
+
+val to_string : Netlist.t -> net_parasitics array -> string
+val write_file : string -> Netlist.t -> net_parasitics array -> unit
+
+exception Parse_error of string
+
+val of_string : Netlist.t -> string -> net_parasitics array
+(** Nets are matched by name; missing nets raise {!Parse_error}. *)
+
+val read_file : Netlist.t -> string -> net_parasitics array
+
+val annotate :
+  Netlist.t ->
+  net_parasitics array ->
+  capture:(Netlist.cell -> Stage.t option) ->
+  Sta.t
+(** Build an STA whose per-net wire capacitance and delay come from the
+    parasitics (equivalent to [Sta.build] when the parasitics came from
+    {!extract} on the same placement). *)

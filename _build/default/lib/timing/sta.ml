@@ -1,0 +1,242 @@
+open Pvtol_netlist
+module Cell_lib = Pvtol_stdcell.Cell
+module Kind = Pvtol_stdcell.Kind
+
+type t = {
+  nl : Netlist.t;
+  order : int array;             (* combinational cells, topological *)
+  base_delay : float array;      (* per cell *)
+  pin_wire : float array array;  (* per cell, per pin: wire delay *)
+  clk_to_q : float;
+  setup : float;
+  capture_of : Stage.t option array;  (* per cell *)
+  flops : int array;
+}
+
+let netlist t = t.nl
+
+let wireload_model nl nid =
+  let net = nl.Netlist.nets.(nid) in
+  let fanout = Array.length net.Netlist.sinks in
+  (* Representative 65nm wireload curve: a few um per sink. *)
+  4.0 +. (3.0 *. float_of_int fanout)
+
+let is_seq (c : Netlist.cell) = Kind.is_sequential c.Netlist.cell.Cell_lib.kind
+
+let topo_order (nl : Netlist.t) =
+  let n = Netlist.cell_count nl in
+  let indeg = Array.make n 0 in
+  let comb c = not (is_seq c) in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if comb c then
+        Array.iter
+          (fun nid ->
+            match nl.Netlist.nets.(nid).Netlist.driver with
+            | Some d when comb nl.Netlist.cells.(d) ->
+              indeg.(c.Netlist.id) <- indeg.(c.Netlist.id) + 1
+            | Some _ | None -> ())
+          c.Netlist.fanins)
+    nl.Netlist.cells;
+  let queue = Queue.create () in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if comb c && indeg.(c.Netlist.id) = 0 then Queue.add c.Netlist.id queue)
+    nl.Netlist.cells;
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    order.(!k) <- cid;
+    incr k;
+    Array.iter
+      (fun (sink, _) ->
+        if not (is_seq nl.Netlist.cells.(sink)) then begin
+          indeg.(sink) <- indeg.(sink) - 1;
+          if indeg.(sink) = 0 then Queue.add sink queue
+        end)
+      nl.Netlist.nets.(nl.Netlist.cells.(cid).Netlist.fanout).Netlist.sinks
+  done;
+  Array.sub order 0 !k
+
+let build nl ~wire_length ~capture =
+  let lib = nl.Netlist.lib in
+  let net_load = Array.make (Netlist.net_count nl) 0.0 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let pins =
+        Array.fold_left
+          (fun acc (cid, _) ->
+            acc +. nl.Netlist.cells.(cid).Netlist.cell.Cell_lib.input_cap)
+          0.0 net.Netlist.sinks
+      in
+      let wire =
+        if net.Netlist.driver = None && Array.length net.Netlist.sinks = 0 then 0.0
+        else lib.Cell_lib.wire_cap_per_um *. wire_length net.Netlist.net_id
+      in
+      net_load.(net.Netlist.net_id) <- pins +. wire)
+    nl.Netlist.nets;
+  let base_delay =
+    Array.map
+      (fun (c : Netlist.cell) ->
+        let cell = c.Netlist.cell in
+        let load = net_load.(c.Netlist.fanout) in
+        if is_seq c then
+          (* clk-to-q, with the same load dependence as a gate. *)
+          lib.Cell_lib.clk_to_q +. (cell.Cell_lib.drive_res *. load)
+        else cell.Cell_lib.d0 +. (cell.Cell_lib.drive_res *. load))
+      nl.Netlist.cells
+  in
+  let pin_wire =
+    Array.map
+      (fun (c : Netlist.cell) ->
+        Array.map
+          (fun nid ->
+            (* Lumped per-sink wire delay: half the net length. *)
+            lib.Cell_lib.wire_delay_per_um *. (wire_length nid /. 2.0))
+          c.Netlist.fanins)
+      nl.Netlist.cells
+  in
+  let capture_of = Array.map (fun c -> capture c) nl.Netlist.cells in
+  let flops =
+    Array.to_list nl.Netlist.cells
+    |> List.filter is_seq
+    |> List.map (fun (c : Netlist.cell) -> c.Netlist.id)
+    |> Array.of_list
+  in
+  {
+    nl;
+    order = topo_order nl;
+    base_delay;
+    pin_wire;
+    clk_to_q = lib.Cell_lib.clk_to_q;
+    setup = lib.Cell_lib.setup;
+    capture_of;
+    flops;
+  }
+
+let of_placement p ~capture =
+  build p.Pvtol_place.Placement.netlist
+    ~wire_length:(fun nid -> Pvtol_place.Placement.wire_length p nid)
+    ~capture
+
+let comb_order t = Array.copy t.order
+let flop_ids t = Array.copy t.flops
+let pin_wire_delay t cid pin = t.pin_wire.(cid).(pin)
+let capture_stage_of t cid = t.capture_of.(cid)
+
+let nominal_delays t = Array.copy t.base_delay
+
+let scaled_delays t ~scale =
+  Array.mapi (fun i d -> d *. scale i) t.base_delay
+
+type result = {
+  arrival : float array;
+  endpoint_delay : float array;
+  worst : float;
+  worst_endpoint : Netlist.cell_id;
+  stage_worst : (Stage.t * float * Netlist.cell_id) list;
+}
+
+let analyze ?skew t ~delays =
+  let nl = t.nl in
+  let skew = match skew with Some f -> f | None -> fun _ -> 0.0 in
+  let arrival = Array.make (Netlist.net_count nl) 0.0 in
+  (* Launch points: flop outputs, offset by the launch edge's arrival. *)
+  Array.iter
+    (fun cid ->
+      arrival.(nl.Netlist.cells.(cid).Netlist.fanout) <- delays.(cid) +. skew cid)
+    t.flops;
+  (* Primary inputs arrive at t = 0 (already initialised). *)
+  Array.iter
+    (fun cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun pin nid ->
+          let a = arrival.(nid) +. t.pin_wire.(cid).(pin) in
+          if a > !acc then acc := a)
+        c.Netlist.fanins;
+      arrival.(c.Netlist.fanout) <- !acc +. delays.(cid))
+    t.order;
+  let endpoint_delay = Array.make (Netlist.cell_count nl) 0.0 in
+  let worst = ref neg_infinity and worst_ep = ref (-1) in
+  let stage_tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let d_pin = c.Netlist.fanins.(0) in
+      (* A late capture edge relaxes the endpoint by its own skew. *)
+      let a = arrival.(d_pin) +. t.pin_wire.(cid).(0) +. t.setup -. skew cid in
+      endpoint_delay.(cid) <- a;
+      if a > !worst then begin
+        worst := a;
+        worst_ep := cid
+      end;
+      match t.capture_of.(cid) with
+      | Some stage ->
+        let cur = Hashtbl.find_opt stage_tbl stage in
+        (match cur with
+        | Some (d, _) when d >= a -> ()
+        | _ -> Hashtbl.replace stage_tbl stage (a, cid))
+      | None -> ())
+    t.flops;
+  let stage_worst =
+    List.filter_map
+      (fun s ->
+        match Hashtbl.find_opt stage_tbl s with
+        | Some (d, cid) -> Some (s, d, cid)
+        | None -> None)
+      Stage.all
+  in
+  {
+    arrival;
+    endpoint_delay;
+    worst = (if !worst_ep = -1 then 0.0 else !worst);
+    worst_endpoint = !worst_ep;
+    stage_worst;
+  }
+
+let required_with t ~delays ~endpoint_required =
+  let nl = t.nl in
+  let req = Array.make (Netlist.net_count nl) infinity in
+  (* Endpoints: data must arrive by the endpoint's budget - setup (minus
+     the D-pin wire delay, charged on the net). *)
+  Array.iter
+    (fun cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let d_pin = c.Netlist.fanins.(0) in
+      let budget = endpoint_required t.capture_of.(cid) in
+      let r = budget -. t.setup -. t.pin_wire.(cid).(0) in
+      if r < req.(d_pin) then req.(d_pin) <- r)
+    t.flops;
+  (* Reverse topological order. *)
+  for k = Array.length t.order - 1 downto 0 do
+    let cid = t.order.(k) in
+    let c = nl.Netlist.cells.(cid) in
+    let r_out = req.(c.Netlist.fanout) in
+    if Float.is_finite r_out then begin
+      let r_in = r_out -. delays.(cid) in
+      Array.iteri
+        (fun pin nid ->
+          let r = r_in -. t.pin_wire.(cid).(pin) in
+          if r < req.(nid) then req.(nid) <- r)
+        c.Netlist.fanins
+    end
+  done;
+  req
+
+let required t ~delays ~clock =
+  required_with t ~delays ~endpoint_required:(fun _ -> clock)
+
+let stage_delay result stage =
+  List.find_map
+    (fun (s, d, _) -> if Stage.equal s stage then Some d else None)
+    result.stage_worst
+
+let endpoints_of_stage t stage =
+  Array.to_list t.flops
+  |> List.filter (fun cid ->
+         match t.capture_of.(cid) with
+         | Some s -> Stage.equal s stage
+         | None -> false)

@@ -1,0 +1,94 @@
+(** Static timing analysis.
+
+    A {!t} is built once per (netlist, placement) pair: it captures the
+    levelized evaluation order, per-cell nominal delays (intrinsic +
+    load-dependent, with the load from placed wire capacitance and sink
+    pin capacitances) and per-pin wire delays.  Each analysis run then
+    only needs a per-cell delay array — which is exactly how the
+    paper's flow works (SDF delays rewritten per variation sample /
+    voltage assignment, then re-imported into the timing engine).
+
+    Conventions: time in ns; flip-flop launch adds clk-to-q, capture
+    adds setup; wire delays are not subject to variation or supply
+    scaling (paper §4.1 ignores wire variation). *)
+
+open Pvtol_netlist
+
+type t
+
+val build :
+  Netlist.t ->
+  wire_length:(Netlist.net_id -> float) ->
+  capture:(Netlist.cell -> Stage.t option) ->
+  t
+(** [wire_length] estimates each net's routed length in um (HPWL after
+    placement, a fanout-based wireload model before). *)
+
+val of_placement :
+  Pvtol_place.Placement.t -> capture:(Netlist.cell -> Stage.t option) -> t
+(** Wire lengths from placed HPWL. *)
+
+val wireload_model : Netlist.t -> Netlist.net_id -> float
+(** Pre-placement fanout-based wireload estimate. *)
+
+val netlist : t -> Netlist.t
+
+(** {2 Structure accessors (for analyses layered on the same graph,
+    e.g. the analytic SSTA)} *)
+
+val comb_order : t -> Netlist.cell_id array
+(** Topological order of the combinational cells (fresh copy). *)
+
+val flop_ids : t -> Netlist.cell_id array
+(** Sequential cells in id order (fresh copy). *)
+
+val pin_wire_delay : t -> Netlist.cell_id -> int -> float
+(** Wire delay charged at a cell's input pin. *)
+
+val capture_stage_of : t -> Netlist.cell_id -> Stage.t option
+
+(** {2 Delay vectors} *)
+
+val nominal_delays : t -> float array
+(** Fresh copy of the per-cell nominal delays (index = cell id). *)
+
+val scaled_delays : t -> scale:(Netlist.cell_id -> float) -> float array
+(** Nominal delays multiplied by a per-cell factor (process variation
+    and/or supply assignment). *)
+
+(** {2 Analysis} *)
+
+type result = {
+  arrival : float array;      (** per net: output arrival time *)
+  endpoint_delay : float array;
+      (** per cell: for sequential cells, data arrival + setup at the D
+          pin; 0 elsewhere *)
+  worst : float;              (** worst endpoint path delay, ns *)
+  worst_endpoint : Netlist.cell_id;  (** -1 if the design has no endpoint *)
+  stage_worst : (Stage.t * float * Netlist.cell_id) list;
+      (** per capture stage: worst endpoint delay and its flop *)
+}
+
+val analyze : ?skew:(Netlist.cell_id -> float) -> t -> delays:float array -> result
+(** [skew] gives each flop's clock-arrival offset (from clock-tree
+    synthesis or useful-skew assignment): a launch edge arriving late
+    delays the data launch; a capture edge arriving late relaxes the
+    endpoint by the same amount.  Default: ideal clock (zero skew). *)
+
+val required : t -> delays:float array -> clock:float -> float array
+(** Backward pass: per-net required time under the clock constraint.
+    Slack of a cell = required(fanout) - arrival(fanout). *)
+
+val required_with :
+  t ->
+  delays:float array ->
+  endpoint_required:(Stage.t option -> float) ->
+  float array
+(** Generalised backward pass: each flop's data-arrival constraint is
+    given by its capture stage (synthesis path groups — used by the
+    per-stage sizing budgets). *)
+
+val stage_delay : result -> Stage.t -> float option
+(** Worst path delay captured by a stage, if it has endpoints. *)
+
+val endpoints_of_stage : t -> Stage.t -> Netlist.cell_id list

@@ -1,0 +1,1 @@
+lib/util/histo.ml: Array Buffer Float Printf String

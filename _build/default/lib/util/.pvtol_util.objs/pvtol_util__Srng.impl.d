@@ -1,0 +1,1 @@
+lib/util/srng.ml: Array Float Int64

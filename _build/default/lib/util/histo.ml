@@ -1,0 +1,53 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  assert (hi > lo && bins > 0);
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bins t = Array.length t.counts
+let count t = t.total
+let bin_width t = (t.hi -. t.lo) /. float_of_int (bins t)
+
+let add t x =
+  let b = int_of_float ((x -. t.lo) /. bin_width t) in
+  let b = max 0 (min (bins t - 1) b) in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1
+
+let of_samples ?bins:nbins xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let nbins =
+    match nbins with
+    | Some b -> b
+    | None -> max 1 (1 + int_of_float (Float.log2 (float_of_int n)))
+  in
+  let lo = Array.fold_left min infinity xs in
+  let hi = Array.fold_left max neg_infinity xs in
+  let hi = if hi > lo then hi else lo +. 1e-9 in
+  (* Tiny headroom so the max sample falls in the last bin, not past it. *)
+  let t = create ~lo ~hi:(hi +. ((hi -. lo) *. 1e-9)) ~bins:nbins in
+  Array.iter (add t) xs;
+  t
+
+let bin_count t i = t.counts.(i)
+
+let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. bin_width t)
+
+let density t i =
+  if t.total = 0 then 0.0
+  else float_of_int t.counts.(i) /. (float_of_int t.total *. bin_width t)
+
+let render ?(width = 50) t =
+  let peak = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create 1024 in
+  for i = 0 to bins t - 1 do
+    let bar = t.counts.(i) * width / peak in
+    Buffer.add_string buf (Printf.sprintf "%+9.4f | %s %d\n" (bin_center t i) (String.make bar '#') t.counts.(i))
+  done;
+  Buffer.contents buf

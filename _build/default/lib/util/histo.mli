@@ -1,0 +1,25 @@
+(** Fixed-range histograms, used for the Fig. 3 density plots and as the
+    binning backend for the chi-square goodness-of-fit test. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] makes an empty histogram over [lo, hi).
+    Samples outside the range are clamped into the edge bins. *)
+
+val of_samples : ?bins:int -> float array -> t
+(** Histogram spanning the sample range, with [bins] buckets
+    (default: Sturges' rule). *)
+
+val add : t -> float -> unit
+val bins : t -> int
+val count : t -> int
+val bin_count : t -> int -> int
+val bin_center : t -> int -> float
+val bin_width : t -> float
+
+val density : t -> int -> float
+(** Empirical probability density of a bin (count / (n * width)). *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one bin per line. *)

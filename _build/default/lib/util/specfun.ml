@@ -1,0 +1,147 @@
+(* Classical numerical expansions; see interface for accuracy notes. *)
+
+let ln_gamma x =
+  (* Lanczos approximation, g = 5, n = 6. *)
+  let cof =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091;
+       -1.231739572450155; 0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  for j = 0 to 5 do
+    y := !y +. 1.0;
+    ser := !ser +. (cof.(j) /. !y)
+  done;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+let gamma_p_series a x =
+  (* Series representation of P(a,x), converges quickly for x < a+1. *)
+  let gln = ln_gamma a in
+  if x <= 0.0 then 0.0
+  else begin
+    let ap = ref a in
+    let sum = ref (1.0 /. a) in
+    let del = ref !sum in
+    let result = ref nan in
+    (try
+       for _ = 1 to 200 do
+         ap := !ap +. 1.0;
+         del := !del *. x /. !ap;
+         sum := !sum +. !del;
+         if Float.abs !del < Float.abs !sum *. 3e-12 then begin
+           result := !sum *. exp ((-.x) +. (a *. log x) -. gln);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if Float.is_nan !result then !sum *. exp ((-.x) +. (a *. log x) -. gln)
+    else !result
+  end
+
+let gamma_q_cf a x =
+  (* Continued fraction (modified Lentz), for x >= a+1. *)
+  let gln = ln_gamma a in
+  let fpmin = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  (try
+     for i = 1 to 200 do
+       let an = -.float_of_int i *. (float_of_int i -. a) in
+       b := !b +. 2.0;
+       d := (an *. !d) +. !b;
+       if Float.abs !d < fpmin then d := fpmin;
+       c := !b +. (an /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1.0 /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.0) < 3e-12 then raise Exit
+     done
+   with Exit -> ());
+  exp ((-.x) +. (a *. log x) -. gln) *. !h
+
+let gamma_p a x =
+  assert (a > 0.0 && x >= 0.0);
+  if x < a +. 1.0 then gamma_p_series a x else 1.0 -. gamma_q_cf a x
+
+let gamma_q a x =
+  assert (a > 0.0 && x >= 0.0);
+  if x < a +. 1.0 then 1.0 -. gamma_p_series a x else gamma_q_cf a x
+
+let erf x =
+  if x >= 0.0 then gamma_p 0.5 (x *. x) else -.gamma_p 0.5 (x *. x)
+
+let erfc x = 1.0 -. erf x
+
+let normal_cdf ~mu ~sigma x =
+  assert (sigma > 0.0);
+  0.5 *. erfc (-.(x -. mu) /. (sigma *. sqrt 2.0))
+
+(* Acklam's inverse normal CDF approximation. *)
+let std_normal_quantile p =
+  assert (p > 0.0 && p < 1.0);
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  let rational_tail q =
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+    *. q +. c.(5)
+  and rational_tail_den q =
+    ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0
+  in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    rational_tail q /. rational_tail_den q
+  else if p <= p_high then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let num =
+      (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+      *. r +. a.(5)
+    and den =
+      ((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)
+    in
+    num *. q /. ((den *. r) +. 1.0)
+  end
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.(rational_tail q /. rational_tail_den q)
+
+let normal_quantile ~mu ~sigma p =
+  assert (sigma > 0.0);
+  mu +. (sigma *. std_normal_quantile p)
+
+let chi2_cdf ~dof x =
+  assert (dof > 0);
+  if x <= 0.0 then 0.0 else gamma_p (float_of_int dof /. 2.0) (x /. 2.0)
+
+let chi2_critical ~dof ~alpha =
+  assert (alpha > 0.0 && alpha < 1.0);
+  (* Bisection on the CDF: monotone, so this is robust. *)
+  let target = 1.0 -. alpha in
+  let rec widen hi = if chi2_cdf ~dof hi < target then widen (hi *. 2.0) else hi in
+  let hi = widen (float_of_int dof +. 10.0) in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if chi2_cdf ~dof mid < target then bisect mid hi (n - 1)
+      else bisect lo mid (n - 1)
+  in
+  bisect 0.0 hi 200

@@ -1,0 +1,66 @@
+type t = { mutable state : int64; mutable cached : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed); cached = None }
+
+let copy g = { state = g.state; cached = g.cached }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix s; cached = None }
+
+let uniform g =
+  (* 53 high bits scaled into [0,1). *)
+  let b = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float b *. 0x1.0p-53
+
+let float g x = uniform g *. x
+
+let int g n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let b = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+    let v = b mod n in
+    if b - v + (n - 1) < 0 then draw () else v
+  in
+  draw ()
+
+let gaussian g =
+  match g.cached with
+  | Some z ->
+    g.cached <- None;
+    z
+  | None ->
+    let rec pair () =
+      let u1 = uniform g in
+      if u1 <= 1e-300 then pair ()
+      else
+        let u2 = uniform g in
+        let r = sqrt (-2.0 *. log u1) in
+        let theta = 2.0 *. Float.pi *. u2 in
+        (r *. cos theta, r *. sin theta)
+    in
+    let z0, z1 = pair () in
+    g.cached <- Some z1;
+    z0
+
+let gaussian_mu_sigma g ~mu ~sigma = mu +. (sigma *. gaussian g)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,39 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Implementation of SplitMix64 (Steele, Lea, Flood 2014).  Every
+    stochastic component of the library draws from an explicit [t] so
+    that experiments are reproducible from a single seed and independent
+    subsystems can be given independent streams via {!split}. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state of [g]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] draws uniformly from [0, n-1].  [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float g x] draws uniformly from [0, x). *)
+
+val uniform : t -> float
+(** Uniform draw in [0,1). *)
+
+val gaussian : t -> float
+(** Standard normal draw (Box-Muller, cached pair). *)
+
+val gaussian_mu_sigma : t -> mu:float -> sigma:float -> float
+(** Normal draw with the given mean and standard deviation. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,42 @@
+(** Descriptive statistics over float samples.
+
+    [Running] is a numerically stable (Welford) online accumulator;
+    [of_array] computes the same summary in one pass over stored data
+    and additionally supports quantiles. *)
+
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Unbiased sample variance; 0 for fewer than 2 samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** One-pass summary of a non-empty sample. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+(** Unbiased sample standard deviation. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for p in [0,1]; linear interpolation between order
+    statistics.  Sorts a copy; the input is not modified. *)
+
+val three_sigma : summary -> float
+(** [mean + 3*stddev], the paper's worst-case figure of merit. *)

@@ -1,0 +1,1 @@
+lib/variation/field.ml: Buffer Float Printf String

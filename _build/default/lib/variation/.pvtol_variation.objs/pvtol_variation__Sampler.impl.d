@@ -1,0 +1,1 @@
+lib/variation/sampler.ml: Array Field Position Pvtol_place Pvtol_stdcell Pvtol_util

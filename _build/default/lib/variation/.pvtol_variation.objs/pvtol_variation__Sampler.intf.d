@@ -1,0 +1,1 @@
+lib/variation/sampler.mli: Field Position Pvtol_place Pvtol_stdcell Pvtol_util

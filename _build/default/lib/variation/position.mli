@@ -1,0 +1,33 @@
+(** Die position of the processor core on the exposure field.
+
+    The paper studies how violations relax as the core moves from the
+    chip's lower-left corner (point A, worst systematic corner of
+    Fig. 2) toward the upper-right along the diagonal (points B, C, D).
+    A position maps core-local placement coordinates (um) to field
+    coordinates (mm). *)
+
+type t = {
+  label : string;
+  origin_x_mm : float;  (** field coordinate of the core's (0,0) *)
+  origin_y_mm : float;
+}
+
+val chip_mm : float
+(** Chip edge length within the exposure field (14 mm, Fig. 2). *)
+
+val at_fraction : ?label:string -> float -> t
+(** Core origin at the given fraction of the chip diagonal
+    (0 = lower-left corner, 1 = upper-right corner). *)
+
+val point_a : t
+val point_b : t
+val point_c : t
+val point_d : t
+(** The paper's four named positions: A at the corner (0.0), and B, C,
+    D at increasing diagonal fractions (0.25, 0.55, 0.80) where the
+    violation scenarios relax one stage at a time. *)
+
+val named : t list
+
+val to_field : t -> x_um:float -> y_um:float -> float * float
+(** Field coordinates (mm) of a core-local placement point. *)

@@ -1,0 +1,48 @@
+module Process = Pvtol_stdcell.Process
+module Placement = Pvtol_place.Placement
+module Srng = Pvtol_util.Srng
+
+type t = {
+  field : Field.t;
+  process : Process.t;
+  sigma_rnd_nm : float;
+}
+
+let create ?field ?(process = Process.default) ?(three_sigma_rnd_frac = 0.065)
+    () =
+  let field =
+    match field with
+    | Some f -> f
+    | None ->
+      Field.create ~l_nominal_nm:process.Process.l_nominal_nm
+        ~max_dev_frac:0.055 ()
+  in
+  {
+    field;
+    process;
+    sigma_rnd_nm = three_sigma_rnd_frac /. 3.0 *. process.Process.l_nominal_nm;
+  }
+
+let systematic_lgates t (p : Placement.t) pos =
+  Array.mapi
+    (fun i _ ->
+      let x_mm, y_mm =
+        Position.to_field pos ~x_um:p.Placement.xs.(i) ~y_um:p.Placement.ys.(i)
+      in
+      Field.systematic_nm t.field ~x_mm ~y_mm)
+    p.Placement.xs
+
+let sample_lgates t ~systematic rng out =
+  assert (Array.length out = Array.length systematic);
+  for i = 0 to Array.length out - 1 do
+    out.(i) <- systematic.(i) +. (t.sigma_rnd_nm *. Srng.gaussian rng)
+  done
+
+let delay_scale t ~lgate_nm ~vdd = Process.delay_scale t.process ~vdd ~lgate_nm
+
+let scale_delays t ~base ~lgates ~vdd ~out =
+  let n = Array.length base in
+  assert (Array.length lgates = n && Array.length out = n);
+  for i = 0 to n - 1 do
+    out.(i) <- base.(i) *. delay_scale t ~lgate_nm:lgates.(i) ~vdd:(vdd i)
+  done

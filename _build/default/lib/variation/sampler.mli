@@ -1,0 +1,47 @@
+(** Per-gate variability injection (paper §4.1 and §4.3).
+
+    For each cell, effective gate length is the sum of the systematic
+    field polynomial at the cell's placed location and an i.i.d.
+    Gaussian random component (Eq. 2); the Orshansky alpha-power model
+    plus the DIBL Vth dependence convert Lgate and the cell's supply
+    voltage into a delay scale factor (Eqs. 3-4), which multiplies the
+    nominal SDF delays — the exact mechanism of the paper's SDF
+    rewriting flow. *)
+
+type t = {
+  field : Field.t;
+  process : Pvtol_stdcell.Process.t;
+  sigma_rnd_nm : float;  (** random component sigma, nm *)
+}
+
+val create :
+  ?field:Field.t ->
+  ?process:Pvtol_stdcell.Process.t ->
+  ?three_sigma_rnd_frac:float ->
+  unit ->
+  t
+(** Defaults: the calibrated 65nm field, default process, random
+    3-sigma of 6.5% of nominal Lgate. *)
+
+val systematic_lgates :
+  t -> Pvtol_place.Placement.t -> Position.t -> float array
+(** Per-cell systematic Lgate (nm) at a die position — the
+    deterministic part, computed once per position. *)
+
+val sample_lgates :
+  t -> systematic:float array -> Pvtol_util.Srng.t -> float array -> unit
+(** Fill the output array with systematic + fresh random draws. *)
+
+val delay_scale :
+  t -> lgate_nm:float -> vdd:float -> float
+(** Delay multiplier relative to the nominal corner. *)
+
+val scale_delays :
+  t ->
+  base:float array ->
+  lgates:float array ->
+  vdd:(int -> float) ->
+  out:float array ->
+  unit
+(** [out.(i) <- base.(i) * delay_scale lgates.(i) (vdd i)] for all
+    cells — the per-sample inner loop of the Monte Carlo engine. *)

@@ -1,0 +1,1 @@
+lib/vex/adder.mli: Gen

@@ -1,0 +1,1 @@
+lib/vex/alu.ml: Adder Array Comparator Gen Shifter

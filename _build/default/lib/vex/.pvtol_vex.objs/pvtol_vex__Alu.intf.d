@@ -1,0 +1,1 @@
+lib/vex/alu.mli: Comparator Gen

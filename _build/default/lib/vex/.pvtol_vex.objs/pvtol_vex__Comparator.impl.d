@@ -1,0 +1,1 @@
+lib/vex/comparator.ml: Adder Array Gen

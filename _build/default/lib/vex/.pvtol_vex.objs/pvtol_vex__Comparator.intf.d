@@ -1,0 +1,1 @@
+lib/vex/comparator.mli: Gen

@@ -1,0 +1,1 @@
+lib/vex/forwarding.ml: Array Gen

@@ -1,0 +1,1 @@
+lib/vex/forwarding.mli: Gen

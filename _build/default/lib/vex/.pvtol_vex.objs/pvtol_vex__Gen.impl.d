@@ -1,0 +1,1 @@
+lib/vex/gen.ml: Array List Netlist Option Printf Pvtol_netlist Pvtol_stdcell Pvtol_util Stage

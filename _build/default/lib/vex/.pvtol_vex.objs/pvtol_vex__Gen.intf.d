@@ -1,0 +1,1 @@
+lib/vex/gen.mli: Netlist Pvtol_netlist Pvtol_stdcell Pvtol_util Stage

@@ -1,0 +1,1 @@
+lib/vex/logic_cloud.ml: Array Gen Pvtol_stdcell Pvtol_util

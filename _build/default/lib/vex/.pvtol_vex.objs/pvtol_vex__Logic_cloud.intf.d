@@ -1,0 +1,1 @@
+lib/vex/logic_cloud.mli: Gen

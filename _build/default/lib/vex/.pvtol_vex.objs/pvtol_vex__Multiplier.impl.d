@@ -1,0 +1,1 @@
+lib/vex/multiplier.ml: Adder Array Gen Lazy List

@@ -1,0 +1,1 @@
+lib/vex/multiplier.mli: Gen

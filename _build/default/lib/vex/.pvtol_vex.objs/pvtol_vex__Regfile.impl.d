@@ -1,0 +1,1 @@
+lib/vex/regfile.ml: Array Comparator Gen

@@ -1,0 +1,1 @@
+lib/vex/regfile.mli: Gen

@@ -1,0 +1,1 @@
+lib/vex/shifter.ml: Array Gen

@@ -1,0 +1,1 @@
+lib/vex/shifter.mli: Gen

@@ -1,0 +1,1 @@
+lib/vex/vex_core.ml: Adder Alu Array Comparator Gen Logic_cloud Multiplier Netlist Printf Pvtol_netlist Pvtol_stdcell Regfile Stage

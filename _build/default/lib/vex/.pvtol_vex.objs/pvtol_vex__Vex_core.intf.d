@@ -1,0 +1,1 @@
+lib/vex/vex_core.mli: Netlist Pvtol_netlist Regfile Stage

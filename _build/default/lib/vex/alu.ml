@@ -1,0 +1,55 @@
+open Gen
+
+type op_select = {
+  use_sub : net;
+  logic_sel : bus;
+  shift_dir : net;
+  shift_amount : bus;
+  shift_enable : net;
+}
+
+let alu_with_shifter t ~op ~a ~b =
+  let w = Array.length a in
+  assert (Array.length b = w);
+  (* Add/sub share the adder through conditional operand inversion. *)
+  let sub_fan = fanout_tree t op.use_sub w in
+  let b_adj = Array.mapi (fun i bi -> xor2 t bi sub_fan.(i)) b in
+  let addsub, _carry = Adder.kogge_stone t ~cin:op.use_sub a b_adj in
+  let band = Array.map2 (and2 t) a b in
+  let bor = Array.map2 (or2 t) a b in
+  let bxor = Array.map2 (xor2 t) a b in
+  assert (Array.length op.logic_sel = 2);
+  let s0 = fanout_tree t op.logic_sel.(0) w in
+  let s1 = fanout_tree t op.logic_sel.(1) w in
+  let alu_out =
+    Array.init w (fun i ->
+        let low = mux2 t addsub.(i) band.(i) ~sel:s0.(i) in
+        let high = mux2 t bor.(i) bxor.(i) ~sel:s0.(i) in
+        mux2 t low high ~sel:s1.(i))
+  in
+  let flags = Comparator.flags t ~alu_result:alu_out ~a ~b in
+  let amount_fan =
+    Array.map (fun s -> fanout_tree t s w) op.shift_amount
+  in
+  (* Per-bit select nets keep the shifter mux fanout bounded. *)
+  let shifted =
+    let data = ref alu_out in
+    let dir_fan = fanout_tree t op.shift_dir w in
+    let left = ref alu_out and right = ref alu_out in
+    for l = 0 to Array.length op.shift_amount - 1 do
+      let k = 1 lsl l in
+      let shift dir src =
+        let moved = Shifter.fixed t dir k src in
+        Array.mapi (fun i x -> mux2 t src.(i) x ~sel:amount_fan.(l).(i)) moved
+      in
+      left := shift Shifter.Left !left;
+      right := shift Shifter.Right !right
+    done;
+    data := Array.mapi (fun i l -> mux2 t l !right.(i) ~sel:dir_fan.(i)) !left;
+    !data
+  in
+  let en_fan = fanout_tree t op.shift_enable w in
+  let result =
+    Array.mapi (fun i x -> mux2 t alu_out.(i) x ~sel:en_fan.(i)) shifted
+  in
+  (result, flags)

@@ -1,0 +1,17 @@
+(** Execute-slot ALU: carry-select add/sub, bitwise logic, followed by
+    the in-series barrel shifter (shift-and-accumulate support, per the
+    paper's slot description). *)
+
+open Gen
+
+type op_select = {
+  use_sub : net;       (** 1 = subtract *)
+  logic_sel : bus;     (** 2 bits: 00 add/sub, 01 and, 10 or, 11 xor *)
+  shift_dir : net;
+  shift_amount : bus;  (** log2(width) bits *)
+  shift_enable : net;  (** 0 = bypass the shifter *)
+}
+
+val alu_with_shifter : t -> op:op_select -> a:bus -> b:bus -> bus * Comparator.flags
+(** Returns the slot result (post-shifter) and the compare-unit flags
+    computed on the raw ALU output. *)

@@ -1,0 +1,27 @@
+open Gen
+
+type flags = { zero : net; negative : net; equal : net; less_than : net }
+
+let flags t ~alu_result ~a ~b =
+  let w = Array.length alu_result in
+  assert (Array.length a = w && Array.length b = w && w > 1);
+  let zero =
+    inv t (or_tree t (Array.to_list alu_result))
+  in
+  let negative = buf t alu_result.(w - 1) in
+  let equal = and_tree t (Array.to_list (Array.map2 (xnor2 t) a b)) in
+  (* Signed less-than from a - b: lt = (sign a <> sign b) ? sign a
+                                       : sign (a - b). *)
+  let diff, _ = Adder.ripple t ~cin:(tie1 t) a (Array.map (inv t) b) in
+  let sign_differs = xor2 t a.(w - 1) b.(w - 1) in
+  let less_than = mux2 t diff.(w - 1) a.(w - 1) ~sel:sign_differs in
+  { zero; negative; equal; less_than }
+
+let equal_const t bus v =
+  let bits =
+    Array.to_list
+      (Array.mapi
+         (fun i n -> if (v lsr i) land 1 = 1 then buf t n else inv t n)
+         bus)
+  in
+  and_tree t bits

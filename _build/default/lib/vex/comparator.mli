@@ -1,0 +1,16 @@
+(** Compare unit: per the paper, each execute slot carries "a compare
+    unit checking MSB bits of ALU results".  Produces zero, negative,
+    equality and signed less-than flags. *)
+
+open Gen
+
+type flags = { zero : net; negative : net; equal : net; less_than : net }
+
+val flags : t -> alu_result : bus -> a:bus -> b:bus -> flags
+(** [flags t ~alu_result ~a ~b]: [zero]/[negative] inspect the ALU
+    result (negative = MSB); [equal]/[less_than] compare the raw
+    operands (signed). *)
+
+val equal_const : t -> bus -> int -> net
+(** [equal_const t bus v] — match a bus against a constant; used by
+    register-address decoders. *)

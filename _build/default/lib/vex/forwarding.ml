@@ -1,0 +1,9 @@
+open Gen
+
+let operand t ~rf_value ~fwd_ex ~fwd_wb ~sel_ex ~sel_wb =
+  let w = Array.length rf_value in
+  let wb_fan = fanout_tree t sel_wb w in
+  let ex_fan = fanout_tree t sel_ex w in
+  Array.init w (fun i ->
+      let after_wb = mux2 t rf_value.(i) fwd_wb.(i) ~sel:wb_fan.(i) in
+      mux2 t after_wb fwd_ex.(i) ~sel:ex_fan.(i))

@@ -1,0 +1,11 @@
+(** Forwarding (bypass) network.  The paper's VEX instantiates two
+    forwarding units handling read-after-write hazards; each gives
+    every execute-slot operand a late mux between the register-file
+    value and results forwarded from the EX/WB boundary registers. *)
+
+open Gen
+
+val operand :
+  t -> rf_value:bus -> fwd_ex:bus -> fwd_wb:bus -> sel_ex:net -> sel_wb:net -> bus
+(** Two-level bypass mux: WB forward first, then the (later-arriving)
+    EX forward closest to the consumer. *)

@@ -1,0 +1,47 @@
+open Gen
+module Kind = Pvtol_stdcell.Kind
+module Srng = Pvtol_util.Srng
+
+type config = { n_gates : int; depth : int; n_outputs : int }
+
+(* Gate mix representative of synthesized control logic. *)
+let kinds =
+  [| Kind.Nand2; Kind.Nor2; Kind.Nand3; Kind.Nor3; Kind.Aoi21; Kind.Oai21;
+     Kind.And2; Kind.Or2; Kind.Xor2; Kind.Inv; Kind.Mux2 |]
+
+let build t cfg ins =
+  assert (Array.length ins > 1 && cfg.n_gates > 0 && cfg.depth > 0);
+  let rng = rng t in
+  (* Levelized construction: gates at level l draw inputs from levels
+     [l - 2, l - 1] (and primary inputs for level 0/1), which yields the
+     target depth with realistic reconvergence. *)
+  let per_level = max 1 (cfg.n_gates / cfg.depth) in
+  let levels = Array.make (cfg.depth + 1) [||] in
+  levels.(0) <- ins;
+  for l = 1 to cfg.depth do
+    let pool =
+      if l = 1 then levels.(0)
+      else Array.append levels.(l - 1) levels.(l - 2)
+    in
+    let n_here = if l = cfg.depth then max 1 cfg.n_outputs else per_level in
+    levels.(l) <-
+      Array.init n_here (fun _ ->
+          let kind = kinds.(Srng.int rng (Array.length kinds)) in
+          let arity = Kind.arity kind in
+          (* Bias one input to the previous level to actually reach the
+             target depth. *)
+          let pick_prev () =
+            let prev = levels.(l - 1) in
+            if Array.length prev = 0 then pool.(Srng.int rng (Array.length pool))
+            else prev.(Srng.int rng (Array.length prev))
+          in
+          let fanins =
+            Array.init arity (fun i ->
+                if i = 0 && l > 1 then pick_prev ()
+                else pool.(Srng.int rng (Array.length pool)))
+          in
+          gate t kind fanins)
+  done;
+  Array.init cfg.n_outputs (fun i ->
+      let last = levels.(cfg.depth) in
+      last.(i mod Array.length last))

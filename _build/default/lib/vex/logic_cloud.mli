@@ -1,0 +1,22 @@
+(** Pseudo-random combinational logic clouds.
+
+    The decode stage of a LISATek-generated VLIW is a large mass of
+    irregular control logic (instruction-field decoders, operand
+    steering, hazard checks).  Rather than transcribing an ISA manual
+    at gate level, we model such blocks as deterministic seeded random
+    DAGs with a controlled gate count, depth profile and output
+    arity — preserving what the SSTA cares about: logic depth
+    distribution and path counts. *)
+
+open Gen
+
+type config = {
+  n_gates : int;
+  depth : int;       (** target levelized depth *)
+  n_outputs : int;
+}
+
+val build : t -> config -> bus -> bus
+(** [build t cfg ins] emits a cloud fed by [ins] and returns
+    [cfg.n_outputs] output nets.  Structure is a function of the
+    context's RNG state only, hence reproducible. *)

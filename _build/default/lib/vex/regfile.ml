@@ -1,0 +1,102 @@
+open Gen
+
+type config = {
+  n_regs : int;
+  width : int;
+  n_read : int;
+  n_write : int;
+  addr_bits : int;
+  sel_fanout : int;
+}
+
+let default_config =
+  { n_regs = 64; width = 32; n_read = 8; n_write = 4; addr_bits = 6; sel_fanout = 64 }
+
+type ports = {
+  read_addr : bus array;
+  read_data : bus array;
+  write_addr : bus array;
+  write_data : bus array;
+  write_en : net array;
+}
+
+(* 2^k : 1 mux tree over the register outputs, one level per address bit.
+   Address-bit fanout is large by design (see interface). *)
+let read_port t cfg ~addr ~q =
+  let sel_fans =
+    Array.init cfg.addr_bits (fun k ->
+        (* Level k has n_regs / 2^(k+1) muxes per bit. *)
+        let muxes_at_level = cfg.n_regs lsr (k + 1) in
+        fanout_tree t ~fanout:cfg.sel_fanout addr.(k) (muxes_at_level * cfg.width))
+  in
+  Array.init cfg.width (fun i ->
+      let values = ref (Array.init cfg.n_regs (fun r -> q.(r).(i))) in
+      for k = 0 to cfg.addr_bits - 1 do
+        let n = Array.length !values / 2 in
+        values :=
+          Array.init n (fun j ->
+              let sel = sel_fans.(k).((j * cfg.width) + i) in
+              mux2 t !values.(2 * j) !values.((2 * j) + 1) ~sel)
+      done;
+      (!values).(0))
+
+let build t cfg ~read_addr ~write_addr ~write_data ~write_en =
+  assert (1 lsl cfg.addr_bits = cfg.n_regs);
+  assert (Array.length read_addr = cfg.n_read);
+  assert (Array.length write_addr = cfg.n_write);
+  assert (Array.length write_data = cfg.n_write);
+  assert (Array.length write_en = cfg.n_write);
+  (* Flops first (deferred D) so the hold muxes can consume Q. *)
+  let q = Array.make_matrix cfg.n_regs cfg.width 0 in
+  let patch = Array.make_matrix cfg.n_regs cfg.width (fun _ -> ()) in
+  for r = 0 to cfg.n_regs - 1 do
+    for i = 0 to cfg.width - 1 do
+      let qn, p = dff_deferred t in
+      q.(r).(i) <- qn;
+      patch.(r).(i) <- p
+    done
+  done;
+  (* Write-port decode: per register, per port, a full address match,
+     then a priority chain resolving multi-port conflicts (the highest
+     port index wins, as when several slots target the same register). *)
+  let match_ = Array.make_matrix cfg.n_regs cfg.n_write write_en.(0) in
+  for r = 0 to cfg.n_regs - 1 do
+    let raw =
+      Array.init cfg.n_write (fun p ->
+          let hit = Comparator.equal_const t write_addr.(p) r in
+          and2 t hit write_en.(p))
+    in
+    let kill = ref (tie0 t) in
+    for p = cfg.n_write - 1 downto 0 do
+      match_.(r).(p) <- and2 t raw.(p) (inv t !kill);
+      kill := or2 t !kill raw.(p)
+    done
+  done;
+  (* Write data distribution with shallow, high-fanout buffer trees. *)
+  let wdata_fan =
+    Array.map
+      (fun data ->
+        Array.map
+          (fun bit -> fanout_tree t ~fanout:cfg.sel_fanout bit cfg.n_regs)
+          data)
+      write_data
+  in
+  for r = 0 to cfg.n_regs - 1 do
+    let we = or_tree t (Array.to_list match_.(r)) in
+    let we_fan = fanout_tree t ~fanout:cfg.sel_fanout we cfg.width in
+    let sel_fans =
+      Array.map (fun m -> fanout_tree t ~fanout:cfg.sel_fanout m cfg.width) match_.(r)
+    in
+    for i = 0 to cfg.width - 1 do
+      let data = ref wdata_fan.(0).(i).(r) in
+      for p = 1 to cfg.n_write - 1 do
+        data := mux2 t !data wdata_fan.(p).(i).(r) ~sel:sel_fans.(p).(i)
+      done;
+      let d = mux2 t q.(r).(i) !data ~sel:we_fan.(i) in
+      patch.(r).(i) d
+    done
+  done;
+  let read_data =
+    Array.map (fun addr -> read_port t cfg ~addr ~q) read_addr
+  in
+  { read_addr; read_data; write_addr; write_data; write_en }

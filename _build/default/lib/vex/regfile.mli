@@ -1,0 +1,45 @@
+(** Fully synthesized multi-port register file.
+
+    The paper's VEX register file is synthesized from standard cells
+    (no full-custom macro), which is why it owns 53% of the core area
+    and dominates power.  Reads are address-selected mux trees; writes
+    are per-register address decoders plus write-port priority muxes in
+    front of a hold-mux + DFF per bit.
+
+    Fanout handling is deliberately lazy (high [fanout] on the buffer
+    trees) so that read and write paths stay RC-dominated, as observed
+    in synthesized register files — this is what keeps the decode and
+    write-back stages close to the clock constraint. *)
+
+open Gen
+
+type config = {
+  n_regs : int;       (** must be a power of two *)
+  width : int;
+  n_read : int;
+  n_write : int;
+  addr_bits : int;    (** log2 n_regs *)
+  sel_fanout : int;   (** buffer-tree fanout for address/control nets *)
+}
+
+val default_config : config
+(** 64 x 32b, 8 read ports, 4 write ports — the paper's 4-issue cluster. *)
+
+type ports = {
+  read_addr : bus array;    (** [n_read] address buses *)
+  read_data : bus array;    (** [n_read] data buses *)
+  write_addr : bus array;   (** [n_write] *)
+  write_data : bus array;
+  write_en : net array;
+}
+
+val build :
+  t -> config ->
+  read_addr:bus array ->
+  write_addr:bus array ->
+  write_data:bus array ->
+  write_en:net array ->
+  ports
+(** Instantiate the register file.  Read-port logic is tagged with the
+    context's stage (callers pass a [Reg_file]-staged context); the
+    DFFs and write path are always tagged [Reg_file]. *)

@@ -1,0 +1,369 @@
+open Pvtol_netlist
+open Gen
+
+type config = {
+  seed : int;
+  n_slots : int;
+  width : int;
+  mult_width : int;
+  instr_bits_per_slot : int;
+  decode_gates_per_slot : int;
+  decode_depth : int;
+  branch_gates : int;
+  regfile : Regfile.config;
+}
+
+let default_config =
+  {
+    seed = 42;
+    n_slots = 4;
+    width = 32;
+    mult_width = 24;
+    instr_bits_per_slot = 32;
+    decode_gates_per_slot = 3200;
+    decode_depth = 33;
+    branch_gates = 420;
+    regfile = Regfile.default_config;
+  }
+
+let small_config =
+  {
+    seed = 7;
+    n_slots = 2;
+    width = 16;
+    mult_width = 8;
+    instr_bits_per_slot = 32;
+    decode_gates_per_slot = 240;
+    decode_depth = 8;
+    branch_gates = 80;
+    regfile =
+      {
+        Regfile.n_regs = 16;
+        width = 16;
+        n_read = 4;
+        n_write = 2;
+        addr_bits = 4;
+        sel_fanout = 16;
+      };
+  }
+
+type t = {
+  netlist : Netlist.t;
+  config : config;
+  capture_stage : Netlist.cell -> Stage.t option;
+}
+
+(* Instruction-slot field boundaries (LSB-first within a slot's word):
+   [0..5] rs1, [6..11] rs2, [12..17] rd, [18..25] imm, [26..31] opcode
+   extras feeding the decode cloud. *)
+let rs1_field cfg si = Array.sub si 0 cfg.regfile.Regfile.addr_bits
+let rs2_field cfg si = Array.sub si 6 cfg.regfile.Regfile.addr_bits
+let rd_field cfg si = Array.sub si 12 cfg.regfile.Regfile.addr_bits
+let imm_field _cfg si = Array.sub si 18 8
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+let zero_extend t bus width =
+  if Array.length bus >= width then Array.sub bus 0 width
+  else begin
+    let z = tie0 t in
+    Array.init width (fun i -> if i < Array.length bus then bus.(i) else z)
+  end
+
+(* Control-register layout within each slot's registered control word. *)
+let ctrl_use_sub = 0
+let ctrl_logic0 = 1
+let ctrl_logic1 = 2
+let ctrl_shift_dir = 3
+let ctrl_shift_en = 4
+let ctrl_res_mul = 5    (* result select: multiplier *)
+let ctrl_res_addr = 6   (* result select: address unit *)
+let ctrl_is_load = 7
+let ctrl_wen = 8
+let n_ctrl = 24
+
+let build cfg =
+  let lib = Pvtol_stdcell.Cell.default_library in
+  let g = create ~design_name:"vex" ~seed:cfg.seed lib in
+  let w = cfg.width in
+  let abits = cfg.regfile.Regfile.addr_bits in
+
+  (* ------------------------------------------------------------------ *)
+  (* Fetch: PC register, incrementer, branch redirect mux.               *)
+  let gf = within g ~stage:Stage.Fetch ~unit_name:"fetch" () in
+  let pc_q = Array.make w 0 and pc_patch = Array.make w (fun _ -> ()) in
+  for i = 0 to w - 1 do
+    let q, p = dff_deferred gf in
+    pc_q.(i) <- q;
+    pc_patch.(i) <- p
+  done;
+  let pc_plus = Adder.incrementer gf pc_q in
+  let instr = inputs gf "instr" (cfg.n_slots * cfg.instr_bits_per_slot) in
+
+  (* Fetch/decode boundary registers. *)
+  let gp_fd = within g ~stage:Stage.Pipe_regs ~unit_name:"pipe_fe_dc" () in
+  let instr_dc = reg_bus gp_fd instr in
+  let pc_dc = reg_bus gp_fd pc_q in
+  let slot_instr s =
+    Array.sub instr_dc (s * cfg.instr_bits_per_slot) cfg.instr_bits_per_slot
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Decode: control clouds, branch unit, hazard detection, RF read.     *)
+  let slot_ctrl =
+    Array.init cfg.n_slots (fun s ->
+        let gd =
+          within g ~stage:Stage.Decode ~unit_name:(Printf.sprintf "dec%d" s) ()
+        in
+        Logic_cloud.build gd
+          {
+            Logic_cloud.n_gates = cfg.decode_gates_per_slot;
+            depth = cfg.decode_depth;
+            n_outputs = n_ctrl;
+          }
+          (slot_instr s))
+  in
+  let gb = within g ~stage:Stage.Decode ~unit_name:"branch" () in
+  let branch_ctrl =
+    Logic_cloud.build gb
+      { Logic_cloud.n_gates = cfg.branch_gates; depth = 8; n_outputs = 3 }
+      (slot_instr 0)
+  in
+  let offset = zero_extend gb (imm_field cfg (slot_instr 0)) w in
+  let branch_target, _ = Adder.carry_select gb pc_dc offset in
+  let branch_taken = branch_ctrl.(0) in
+  let taken_fan = fanout_tree gb branch_taken w in
+  for i = 0 to w - 1 do
+    pc_patch.(i) (mux2 gf pc_plus.(i) branch_target.(i) ~sel:taken_fan.(i))
+  done;
+
+  (* Register file.  Write-side nets do not exist yet (they come out of
+     write-back); placeholders are merged once the loop closes. *)
+  let grf = within g ~stage:Stage.Reg_file ~unit_name:"regfile" () in
+  let read_addr =
+    Array.init (cfg.n_slots * 2) (fun p ->
+        let si = slot_instr (p / 2) in
+        if p mod 2 = 0 then rs1_field cfg si else rs2_field cfg si)
+  in
+  let stub name len =
+    Array.init len (fun i ->
+        Netlist.Builder.placeholder (builder g) (Printf.sprintf "%s[%d]" name i))
+  in
+  let wa_stub = Array.init cfg.n_slots (fun s -> stub (Printf.sprintf "wa%d" s) abits) in
+  let wd_stub = Array.init cfg.n_slots (fun s -> stub (Printf.sprintf "wd%d" s) w) in
+  let we_stub = stub "we" cfg.n_slots in
+  let rf =
+    Regfile.build grf cfg.regfile ~read_addr ~write_addr:wa_stub
+      ~write_data:wd_stub ~write_en:we_stub
+  in
+
+  (* DC/EX destination registers, needed by hazard detection. *)
+  let gp_dx = within g ~stage:Stage.Pipe_regs ~unit_name:"pipe_dc_ex" () in
+  let rd_ex =
+    Array.init cfg.n_slots (fun s -> reg_bus gp_dx (rd_field cfg (slot_instr s)))
+  in
+
+  (* Hazard detection: per slot and source operand, match against every
+     in-flight EX destination. *)
+  let ghz = within g ~stage:Stage.Decode ~unit_name:"hazard" () in
+  let match_bus src =
+    Array.map
+      (fun dst -> and_tree ghz (Array.to_list (Array.map2 (xnor2 ghz) src dst)))
+      rd_ex
+  in
+  let fwd_sel_dc =
+    Array.init cfg.n_slots (fun s ->
+        let si = slot_instr s in
+        (match_bus (rs1_field cfg si), match_bus (rs2_field cfg si)))
+  in
+
+  (* Remaining DC/EX boundary registers. *)
+  let op_a =
+    Array.init cfg.n_slots (fun s -> reg_bus gp_dx rf.Regfile.read_data.(2 * s))
+  in
+  let op_b =
+    Array.init cfg.n_slots (fun s -> reg_bus gp_dx rf.Regfile.read_data.((2 * s) + 1))
+  in
+  let ctrl_ex = Array.init cfg.n_slots (fun s -> reg_bus gp_dx slot_ctrl.(s)) in
+  let imm_ex =
+    Array.init cfg.n_slots (fun s -> reg_bus gp_dx (imm_field cfg (slot_instr s)))
+  in
+  (* Architectural state carried down the pipe (PC chain and the full
+     instruction word, as LISATek-generated cores do). *)
+  let pc_ex = reg_bus gp_dx pc_dc in
+  let _instr_ex = Array.init cfg.n_slots (fun s -> reg_bus gp_dx (slot_instr s)) in
+  let fwd_ex_sel =
+    Array.init cfg.n_slots (fun s ->
+        let m1, m2 = fwd_sel_dc.(s) in
+        (reg_bus gp_dx m1, reg_bus gp_dx m2))
+  in
+
+  (* EX/WB boundary registers exist before the execute logic so the
+     forwarding network can consume last cycle's results. *)
+  let gp_xw = within g ~stage:Stage.Pipe_regs ~unit_name:"pipe_ex_wb" () in
+  let defer_bus n =
+    let q = Array.make n 0 and patch = Array.make n (fun _ -> ()) in
+    for i = 0 to n - 1 do
+      let qi, p = dff_deferred gp_xw in
+      q.(i) <- qi;
+      patch.(i) <- p
+    done;
+    (q, patch)
+  in
+  let res_wb = Array.init cfg.n_slots (fun _ -> defer_bus w) in
+  let rd_wb = Array.init cfg.n_slots (fun s -> reg_bus gp_xw rd_ex.(s)) in
+  let ctrl_wb = Array.init cfg.n_slots (fun s -> reg_bus gp_xw ctrl_ex.(s)) in
+  let _pc_wb = reg_bus gp_xw pc_ex in
+
+  (* ------------------------------------------------------------------ *)
+  (* Write-back: result/load select, then register-file write ports.     *)
+  let gwb = within g ~stage:Stage.Writeback ~unit_name:"wb" () in
+  let load_data = inputs gwb "dmem_rdata" (cfg.n_slots * w) in
+  let wb_result =
+    Array.init cfg.n_slots (fun s ->
+        let ld = Array.sub load_data (s * w) w in
+        let is_load_fan = fanout_tree gwb ctrl_wb.(s).(ctrl_is_load) w in
+        Array.mapi (fun i r -> mux2 gwb r ld.(i) ~sel:is_load_fan.(i)) (fst res_wb.(s)))
+  in
+  (* Retire crossbar: each register-file write port arbitrates among the
+     slot results (slot compaction, as in LISATek-generated retire
+     logic).  Port selects come from a small write-back control cloud.
+     Architecturally this is write-port logic, so its cells are
+     accounted to the register file (as in Table 1, where write-back
+     proper is only 0.04% of area). *)
+  let gwb = within gwb ~stage:Stage.Reg_file ~unit_name:"regfile_wport" () in
+  let retire_ctrl_in =
+    Array.concat (Array.to_list (Array.map (fun c -> Array.sub c 0 12) ctrl_wb))
+  in
+  let retire_sel =
+    Logic_cloud.build gwb
+      { Logic_cloud.n_gates = 400; depth = 7; n_outputs = 2 * cfg.n_slots }
+      retire_ctrl_in
+  in
+  let port_mux data_of p =
+    (* Two select bits steer a 4:1 mux over the slots, per port. *)
+    let width = Array.length (data_of 0) in
+    let s0 = fanout_tree gwb retire_sel.(2 * p) width in
+    let s1 = fanout_tree gwb retire_sel.((2 * p) + 1) width in
+    Array.init width (fun i ->
+        let a =
+          mux2 gwb (data_of p).(i)
+            (data_of ((p + 1) mod cfg.n_slots)).(i)
+            ~sel:s0.(i)
+        in
+        let c =
+          mux2 gwb
+            (data_of ((p + 2) mod cfg.n_slots)).(i)
+            (data_of ((p + 3) mod cfg.n_slots)).(i)
+            ~sel:s0.(i)
+        in
+        mux2 gwb a c ~sel:s1.(i))
+  in
+  let port_data = Array.init cfg.n_slots (fun p -> port_mux (fun s -> wb_result.(s)) p) in
+  let port_addr = Array.init cfg.n_slots (fun p -> port_mux (fun s -> rd_wb.(s)) p) in
+  let port_we =
+    Array.init cfg.n_slots (fun p ->
+        let wen s = ctrl_wb.(s).(ctrl_wen) in
+        let w0 = mux2 gwb (wen p) (wen ((p + 1) mod cfg.n_slots)) ~sel:retire_sel.(2 * p) in
+        let w1 =
+          mux2 gwb (wen ((p + 2) mod cfg.n_slots)) (wen ((p + 3) mod cfg.n_slots))
+            ~sel:retire_sel.(2 * p)
+        in
+        mux2 gwb w0 w1 ~sel:retire_sel.((2 * p) + 1))
+  in
+  (* Close the register-file write loop. *)
+  let b = builder g in
+  for s = 0 to cfg.n_slots - 1 do
+    Array.iteri (fun i p -> Netlist.Builder.merge b ~placeholder:p port_addr.(s).(i)) wa_stub.(s);
+    Array.iteri (fun i p -> Netlist.Builder.merge b ~placeholder:p port_data.(s).(i)) wd_stub.(s);
+    Netlist.Builder.merge b ~placeholder:we_stub.(s) port_we.(s)
+  done;
+
+  (* ------------------------------------------------------------------ *)
+  (* Execute: forwarding, per-slot ALU+shifter / compare / address unit / *)
+  (* multiplier, result selection.                                        *)
+  let slot_results =
+    Array.init cfg.n_slots (fun s ->
+        let fwd_unit = s / ((cfg.n_slots + 1) / 2) in
+        let gfw =
+          within g ~stage:Stage.Execute ~unit_name:(Printf.sprintf "fwd%d" fwd_unit) ()
+        in
+        let forward operand sel_bits =
+          (* Priority mux across the EX destinations, then WB results. *)
+          let v = ref operand in
+          Array.iteri
+            (fun src sel ->
+              let sel_fan = fanout_tree gfw sel w in
+              v :=
+                Array.mapi
+                  (fun i x -> mux2 gfw x wb_result.(src).(i) ~sel:sel_fan.(i))
+                  !v)
+            sel_bits;
+          !v
+        in
+        let sel_a, sel_b = fwd_ex_sel.(s) in
+        let a = forward op_a.(s) sel_a in
+        let bop = forward op_b.(s) sel_b in
+        let gx = within g ~stage:Stage.Execute ~unit_name:(Printf.sprintf "slot%d" s) () in
+        let ctrl = ctrl_ex.(s) in
+        let op =
+          {
+            Alu.use_sub = ctrl.(ctrl_use_sub);
+            logic_sel = [| ctrl.(ctrl_logic0); ctrl.(ctrl_logic1) |];
+            shift_dir = ctrl.(ctrl_shift_dir);
+            shift_amount = Array.sub bop 0 (log2 w);
+            shift_enable = ctrl.(ctrl_shift_en);
+          }
+        in
+        let alu_res, flags = Alu.alu_with_shifter gx ~op ~a ~b:bop in
+        let addr_res, _ =
+          Adder.carry_select gx a (zero_extend gx imm_ex.(s) w)
+        in
+        let mult_res =
+          Multiplier.truncated gx ~width:w
+            (Array.sub a 0 cfg.mult_width)
+            (Array.sub bop 0 cfg.mult_width)
+        in
+        let mul_fan = fanout_tree gx ctrl.(ctrl_res_mul) w in
+        let addr_fan = fanout_tree gx ctrl.(ctrl_res_addr) w in
+        let res =
+          Array.init w (fun i ->
+              let r = mux2 gx alu_res.(i) mult_res.(i) ~sel:mul_fan.(i) in
+              mux2 gx r addr_res.(i) ~sel:addr_fan.(i))
+        in
+        (res, flags, addr_res))
+  in
+  (* Connect execute results into the EX/WB registers. *)
+  Array.iteri
+    (fun s (res, _flags, _) ->
+      Array.iteri (fun i p -> p res.(i)) (snd res_wb.(s)))
+    slot_results;
+
+  (* Primary outputs: PC (instruction address), per-slot memory address
+     and store data, branch flag visibility. *)
+  outputs gf "imem_addr" pc_q;
+  Array.iteri
+    (fun s (_, flags, addr_res) ->
+      let gx = within g ~stage:Stage.Execute ~unit_name:(Printf.sprintf "slot%d" s) () in
+      outputs gx (Printf.sprintf "dmem_addr%d" s) addr_res;
+      outputs gx (Printf.sprintf "dmem_wdata%d" s) op_b.(s);
+      outputs gx
+        (Printf.sprintf "flags%d" s)
+        [| flags.Comparator.zero; flags.Comparator.negative;
+           flags.Comparator.equal; flags.Comparator.less_than |])
+    slot_results;
+
+  let netlist = Netlist.Builder.freeze b in
+  let capture_stage (c : Netlist.cell) =
+    if not (Pvtol_stdcell.Kind.is_sequential c.Netlist.cell.Pvtol_stdcell.Cell.kind) then None
+    else
+      match c.Netlist.unit_name with
+      | "fetch" | "pipe_fe_dc" -> Some Stage.Fetch
+      | "pipe_dc_ex" -> Some Stage.Decode
+      | "pipe_ex_wb" -> Some Stage.Execute
+      | "regfile" -> Some Stage.Writeback
+      | _ -> None
+  in
+  { netlist; config = cfg; capture_stage }

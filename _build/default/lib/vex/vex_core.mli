@@ -1,0 +1,46 @@
+(** Generator for the paper's target design: a 4-stage, 4-issue
+    clustered VLIW (VEX) core — fetch, decode (with branch unit),
+    execute (4 slots, each with ALU + in-series shifter, compare unit,
+    address unit and parallel multiplier; 2 forwarding units), and
+    write-back into a fully synthesized multi-port register file.
+
+    Memories (instruction and data) are modelled behaviourally as
+    primary inputs/outputs, exactly as in the paper ("all memory
+    devices were modelled at behavioral level with single cycle access
+    time"). *)
+
+open Pvtol_netlist
+
+type config = {
+  seed : int;
+  n_slots : int;
+  width : int;
+  mult_width : int;        (** multiplier operand width *)
+  instr_bits_per_slot : int;
+  decode_gates_per_slot : int;
+  decode_depth : int;
+  branch_gates : int;
+  regfile : Regfile.config;
+}
+
+val default_config : config
+(** The paper's configuration: 4 slots, 32-bit datapath, 64x32 8R/4W
+    register file, 128-bit instruction word. *)
+
+val small_config : config
+(** A scaled-down core (2 slots, 16-bit datapath, 16x16 register file)
+    for fast tests and examples. *)
+
+type t = {
+  netlist : Netlist.t;
+  config : config;
+  capture_stage : Netlist.cell -> Stage.t option;
+      (** For a sequential cell, the pipeline stage whose combinational
+          paths it captures (the classification Fig. 3 reports by):
+          PC/FE-DC flops capture fetch, DC-EX flops capture decode,
+          EX-WB flops capture execute, register-file flops capture
+          write-back. *)
+}
+
+val build : config -> t
+(** Deterministic for a given config (including seed). *)

@@ -1,0 +1,1 @@
+lib/vexsim/asm.ml: Array Buffer Hashtbl Isa List Printf String

@@ -1,0 +1,1 @@
+lib/vexsim/asm.mli: Isa

@@ -1,0 +1,1 @@
+lib/vexsim/fir.ml: Array Asm Int32 Printf Pvtol_util Sim String

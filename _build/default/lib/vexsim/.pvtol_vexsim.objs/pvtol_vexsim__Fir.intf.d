@@ -1,0 +1,1 @@
+lib/vexsim/fir.mli: Int32 Sim

@@ -1,0 +1,1 @@
+lib/vexsim/isa.ml: Array Int32 List String

@@ -1,0 +1,1 @@
+lib/vexsim/isa.mli:

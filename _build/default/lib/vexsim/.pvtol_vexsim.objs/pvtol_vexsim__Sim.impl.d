@@ -1,0 +1,1 @@
+lib/vexsim/sim.ml: Array Int32 Isa List

@@ -1,0 +1,1 @@
+lib/vexsim/sim.mli: Int32 Isa

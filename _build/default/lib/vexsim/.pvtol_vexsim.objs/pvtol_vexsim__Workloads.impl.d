@@ -1,0 +1,1 @@
+lib/vexsim/workloads.ml: Array Asm Fir Int32 Pvtol_util Sim String

@@ -1,0 +1,1 @@
+lib/vexsim/workloads.mli: Int32 Sim

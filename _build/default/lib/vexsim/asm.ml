@@ -1,0 +1,158 @@
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun m -> raise (Error (Printf.sprintf "line %d: %s" line m))) fmt
+
+let strip_comment line =
+  let cut =
+    match String.index_opt line '#' with
+    | Some i -> i
+    | None -> String.length line
+  in
+  let cut =
+    (* ';;' introduces a comment; a single ';' separates slots. *)
+    let rec find i =
+      if i + 1 >= cut then cut
+      else if line.[i] = ';' && line.[i + 1] = ';' then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  String.sub line 0 cut
+
+let split_char c s = String.split_on_char c s |> List.map String.trim
+
+let parse_reg lnum tok =
+  let n = String.length tok in
+  if n >= 2 && tok.[0] = 'r' then
+    match int_of_string_opt (String.sub tok 1 (n - 1)) with
+    | Some r when r >= 0 && r < Isa.n_regs -> r
+    | _ -> fail lnum "bad register %S" tok
+  else fail lnum "expected register, got %S" tok
+
+let parse_imm lnum tok =
+  match int_of_string_opt tok with
+  | Some v when v >= -128 && v <= 255 -> v land 0xff
+  | Some _ -> fail lnum "immediate %S out of 8-bit range" tok
+  | None -> fail lnum "bad immediate %S" tok
+
+(* 'imm(rN)' displacement operand. *)
+let parse_disp lnum tok =
+  match String.index_opt tok '(' with
+  | Some i when String.length tok > i + 2 && tok.[String.length tok - 1] = ')' ->
+    let imm = parse_imm lnum (String.sub tok 0 i) in
+    let reg = parse_reg lnum (String.sub tok (i + 1) (String.length tok - i - 2)) in
+    (imm, reg)
+  | _ -> fail lnum "expected displacement imm(rN), got %S" tok
+
+let parse_op lnum labels text =
+  let text = String.trim text in
+  if text = "" then Isa.nop
+  else begin
+    let mnemonic, rest =
+      match String.index_opt text ' ' with
+      | Some i ->
+        ( String.sub text 0 i,
+          String.sub text (i + 1) (String.length text - i - 1) )
+      | None -> (text, "")
+    in
+    let opcode =
+      match Isa.opcode_of_name (String.lowercase_ascii mnemonic) with
+      | Some o -> o
+      | None -> fail lnum "unknown mnemonic %S" mnemonic
+    in
+    let args = if String.trim rest = "" then [] else split_char ',' rest in
+    let reg = parse_reg lnum in
+    match (opcode, args) with
+    | Isa.Nop, [] -> Isa.nop
+    | (Isa.Add | Isa.Sub | Isa.And | Isa.Or | Isa.Xor | Isa.Shl | Isa.Shr
+      | Isa.Mul | Isa.Cmplt | Isa.Cmpeq), [ rd; rs1; rs2 ] ->
+      { Isa.opcode; rd = reg rd; rs1 = reg rs1; rs2 = reg rs2; imm = 0 }
+    | Isa.Movi, [ rd; imm ] ->
+      { Isa.opcode; rd = reg rd; rs1 = 0; rs2 = 0; imm = parse_imm lnum imm }
+    | Isa.Ld, [ rd; disp ] ->
+      let imm, rs1 = parse_disp lnum disp in
+      { Isa.opcode; rd = reg rd; rs1; rs2 = 0; imm }
+    | Isa.St, [ rs2; disp ] ->
+      let imm, rs1 = parse_disp lnum disp in
+      { Isa.opcode; rd = 0; rs1; rs2 = reg rs2; imm }
+    | (Isa.Brz | Isa.Brnz), [ rs1; label ] ->
+      let target =
+        match Hashtbl.find_opt labels label with
+        | Some t -> t
+        | None -> fail lnum "undefined label %S" label
+      in
+      if target > 255 then fail lnum "branch target %d out of range" target;
+      { Isa.opcode; rd = 0; rs1 = reg rs1; rs2 = 0; imm = target }
+    | _ ->
+      fail lnum "wrong operands for %s (%d given)" (Isa.opcode_name opcode)
+        (List.length args)
+  end
+
+(* First pass: strip labels, record their bundle index. *)
+let first_pass src =
+  let labels = Hashtbl.create 16 in
+  let bundles = ref [] in
+  let bundle_index = ref 0 in
+  List.iteri
+    (fun i raw ->
+      let lnum = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then begin
+        let line =
+          match String.index_opt line ':' with
+          | Some ci ->
+            let label = String.trim (String.sub line 0 ci) in
+            if label = "" || String.contains label ' ' then
+              fail lnum "malformed label";
+            Hashtbl.replace labels label !bundle_index;
+            String.trim (String.sub line (ci + 1) (String.length line - ci - 1))
+          | None -> line
+        in
+        if line <> "" then begin
+          bundles := (lnum, line) :: !bundles;
+          incr bundle_index
+        end
+      end)
+    (String.split_on_char '\n' src);
+  (labels, List.rev !bundles)
+
+let assemble src =
+  let labels, lines = first_pass src in
+  let parse_bundle (lnum, line) =
+    let parts = split_char ';' line in
+    if List.length parts > Isa.slots then
+      fail lnum "more than %d slots" Isa.slots;
+    let ops = Array.make Isa.slots Isa.nop in
+    List.iteri (fun i part -> ops.(i) <- parse_op lnum labels part) parts;
+    (* Branches are only decoded from slot 0 (the branch unit sits in
+       the decode stage next to slot 0's decoder). *)
+    Array.iteri
+      (fun i op ->
+        if i > 0 && Isa.is_branch op.Isa.opcode then
+          fail lnum "branch must be in slot 0")
+      ops;
+    ops
+  in
+  Array.of_list (List.map parse_bundle lines)
+
+let disassemble program =
+  let op_text (o : Isa.op) =
+    let n = Isa.opcode_name o.Isa.opcode in
+    match o.Isa.opcode with
+    | Isa.Nop -> "nop"
+    | Isa.Movi -> Printf.sprintf "%s r%d, %d" n o.Isa.rd o.Isa.imm
+    | Isa.Ld -> Printf.sprintf "%s r%d, %d(r%d)" n o.Isa.rd o.Isa.imm o.Isa.rs1
+    | Isa.St -> Printf.sprintf "%s r%d, %d(r%d)" n o.Isa.rs2 o.Isa.imm o.Isa.rs1
+    | Isa.Brz | Isa.Brnz -> Printf.sprintf "%s r%d, L%d" n o.Isa.rs1 o.Isa.imm
+    | _ -> Printf.sprintf "%s r%d, r%d, r%d" n o.Isa.rd o.Isa.rs1 o.Isa.rs2
+  in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i bundle ->
+      Buffer.add_string buf (Printf.sprintf "L%d: " i);
+      Buffer.add_string buf
+        (String.concat " ; " (Array.to_list (Array.map op_text bundle)));
+      Buffer.add_char buf '\n')
+    program;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Two-pass assembler for the VEX-like ISA.
+
+    Syntax — one bundle per line, slots separated by [;], at most
+    {!Isa.slots} per line (missing slots are filled with [nop]):
+
+    {v
+    ; FIR inner loop
+    loop:  ld r10, 0(r2) ; ld r11, 0(r3) ; add r2, r2, r8 ; add r3, r3, r8
+           mul r12, r10, r11 ; nop ; nop ; nop
+           add r4, r4, r12 ; sub r1, r1, r9 ; nop ; nop
+           brnz r1, loop
+    v}
+
+    Registers are [r0]-[r63] ([r0] is a normal register, not tied to
+    zero).  Immediates are decimal, optionally negative.  [ld]/[st]
+    use displacement syntax [imm(rN)].  Branches take a label whose
+    bundle index becomes the 8-bit immediate.  Comments start with
+    [;;] or [#] and run to end of line. *)
+
+exception Error of string
+(** Raised with line number and message on malformed input. *)
+
+val assemble : string -> Isa.bundle array
+(** Assemble a program; deterministic, no I/O. *)
+
+val disassemble : Isa.bundle array -> string
+(** Textual form that reassembles to the same program. *)

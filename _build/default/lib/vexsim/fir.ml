@@ -1,0 +1,60 @@
+module Srng = Pvtol_util.Srng
+
+type result = {
+  stats : Sim.stats;
+  outputs : int array;
+  reference : int array;
+  trace : Int32.t array list;
+}
+
+let coeff_base = 0
+let signal_base = 256
+let out_base = 512
+
+(* r8 = 1 (const), r9 = scratch const, r21 = signal base, r22 = out
+   base, r26 = sample index n, r4 = accumulator, r2 = coeff ptr,
+   r7 = signal ptr, r5 = tap counter, r24 = remaining samples. *)
+let program ~taps ~samples =
+  assert (taps > 0 && taps <= 127 && samples > 0 && samples <= 127);
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "  movi r8, 1 ; movi r9, 8 ; movi r28, %d ; movi r29, %d" taps samples;
+      "  shl r21, r8, r9 ; movi r9, 9 ; movi r26, 0 ; nop";
+      "  shl r22, r8, r9 ; movi r9, 1 ; nop ; nop";
+      Printf.sprintf
+        "outer: movi r4, 0 ; movi r2, %d ; add r7, r21, r26 ; movi r5, %d"
+        coeff_base taps;
+      "inner: ld r10, 0(r2) ; ld r11, 0(r7) ; add r2, r2, r9 ; add r7, r7, r9";
+      "  mul r12, r10, r11 ; sub r5, r5, r9 ; nop ; nop";
+      "  add r4, r4, r12 ; add r23, r22, r26 ; nop ; nop";
+      "  brnz r5, inner";
+      "  st r4, 0(r23) ; sub r24, r29, r26 ; add r26, r26, r9 ; nop";
+      "  sub r24, r24, r9 ; nop ; nop ; nop";
+      "  brnz r24, outer";
+    ]
+
+let mask32 v = v land 0xFFFFFFFF
+
+let run ?(taps = 16) ?(samples = 64) ?(seed = 3) () =
+  let src = program ~taps ~samples in
+  let prog = Asm.assemble src in
+  let t = Sim.create prog in
+  let rng = Srng.create seed in
+  let coeffs = Array.init taps (fun _ -> Srng.int rng 16 - 8) in
+  let signal = Array.init (samples + taps) (fun _ -> Srng.int rng 16 - 8) in
+  Array.iteri (fun i c -> Sim.store t (coeff_base + i) c) coeffs;
+  Array.iteri (fun i x -> Sim.store t (signal_base + i) x) signal;
+  let stats = Sim.run t in
+  let outputs = Array.init samples (fun n -> Sim.load t (out_base + n)) in
+  let reference =
+    Array.init samples (fun n ->
+        let acc = ref 0 in
+        for k = 0 to taps - 1 do
+          acc := !acc + (coeffs.(k) * signal.(n + k))
+        done;
+        mask32 !acc)
+  in
+  { stats; outputs; reference; trace = Sim.trace t }
+
+let check r = r.outputs = r.reference

@@ -1,0 +1,23 @@
+(** The FIR filtering benchmark used for every power measurement in the
+    paper ("a FIR filtering benchmark executed on the VEX processor
+    core was used for power assessment"). *)
+
+type result = {
+  stats : Sim.stats;
+  outputs : int array;       (** filtered samples from the ISS run *)
+  reference : int array;     (** same filter computed directly *)
+  trace : Int32.t array list;  (** instruction-word trace for gate-level
+                                   activity simulation *)
+}
+
+val program : taps:int -> samples:int -> string
+(** Assembly source of a [taps]-tap FIR over [samples] input samples,
+    unrolled 4-wide where the VLIW slots allow. *)
+
+val run : ?taps:int -> ?samples:int -> ?seed:int -> unit -> result
+(** Assemble, load coefficients and a deterministic pseudo-random input
+    signal, execute, and compare against the direct convolution.
+    Defaults: 16 taps, 64 samples, seed 3. *)
+
+val check : result -> bool
+(** ISS outputs match the reference convolution exactly. *)

@@ -1,0 +1,1 @@
+test/simtool.ml: Array List Netlist Printf Pvtol_netlist Pvtol_stdcell Pvtol_vex Queue Seq

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lazy List Printf Pvtol_core Pvtol_netlist Pvtol_place Pvtol_power Pvtol_ssta Pvtol_stdcell Pvtol_timing Pvtol_util Pvtol_variation String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Hashtbl Lazy List Netlist Pvtol_core Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_util Pvtol_vex Stage String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Filename Float Format Fun Lazy List Netlist Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_timing Pvtol_util Pvtol_vex String Sys

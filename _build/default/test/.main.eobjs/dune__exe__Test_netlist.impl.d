@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Float List Netlist Printf Pvtol_netlist Pvtol_stdcell Pvtol_vex Stage

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Def Density Float Floorplan Lazy Legalize List Option Placement Placer Pvtol_core Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_util Pvtol_vex Router Seq

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Float Int32 Lazy List Netlist Pvtol_netlist Pvtol_place Pvtol_power Pvtol_stdcell Pvtol_vex Pvtol_vexsim Stage

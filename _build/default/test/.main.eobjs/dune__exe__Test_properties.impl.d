@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Float List Netlist Printf Pvtol_core Pvtol_netlist Pvtol_place Pvtol_power Pvtol_stdcell Pvtol_timing Pvtol_util QCheck QCheck_alcotest Simtool Stage

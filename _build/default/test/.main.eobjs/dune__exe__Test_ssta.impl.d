@@ -1,0 +1,1 @@
+test/test_ssta.ml: Alcotest Array Float Lazy List Printf Pvtol_netlist Pvtol_place Pvtol_ssta Pvtol_stdcell Pvtol_timing Pvtol_util Pvtol_variation Pvtol_vex

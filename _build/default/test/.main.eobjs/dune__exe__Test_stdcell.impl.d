@@ -1,0 +1,1 @@
+test/test_stdcell.ml: Alcotest Array Float List Printf Pvtol_stdcell

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Float Lazy List Netlist Printf Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_timing Pvtol_vex QCheck QCheck_alcotest Stage

@@ -1,0 +1,1 @@
+test/test_variation.ml: Alcotest Array Float Lazy List Pvtol_netlist Pvtol_place Pvtol_stdcell Pvtol_util Pvtol_variation Pvtol_vex String

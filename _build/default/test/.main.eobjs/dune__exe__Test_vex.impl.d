@@ -1,0 +1,1 @@
+test/test_vex.ml: Alcotest Array List Printf Pvtol_netlist Pvtol_stdcell Pvtol_vex QCheck QCheck_alcotest Seq Simtool

@@ -1,0 +1,1 @@
+test/test_vexsim.ml: Alcotest Array List Option Printf Pvtol_vexsim QCheck QCheck_alcotest

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "pvtol"
+    [
+      Test_util.suite;
+      Test_stdcell.suite;
+      Test_netlist.suite;
+      Test_vex.suite;
+      Test_vexsim.suite;
+      Test_place.suite;
+      Test_timing.suite;
+      Test_variation.suite;
+      Test_ssta.suite;
+      Test_power.suite;
+      Test_core.suite;
+      Test_extensions.suite;
+      Test_properties.suite;
+      Test_misc.suite;
+    ]

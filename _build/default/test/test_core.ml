@@ -1,0 +1,300 @@
+(* Tests for the paper's core contribution: islands, greedy slicing,
+   level-shifter insertion, and the end-to-end flow. *)
+
+module Flow = Pvtol_core.Flow
+module Island = Pvtol_core.Island
+module Slicing = Pvtol_core.Slicing
+module Level_shifter = Pvtol_core.Level_shifter
+module Experiments = Pvtol_core.Experiments
+module Power = Pvtol_power.Power
+module Sta = Pvtol_timing.Sta
+module Position = Pvtol_variation.Position
+module Sampler = Pvtol_variation.Sampler
+module Geom = Pvtol_util.Geom
+module Netlist = Pvtol_netlist.Netlist
+module Stage = Pvtol_netlist.Stage
+module Density = Pvtol_place.Density
+
+(* One quick flow + vertical variant shared by the whole suite. *)
+let env =
+  lazy
+    (let t = Flow.prepare ~config:Flow.quick_config () in
+     (t, Flow.variant t Island.Vertical))
+
+(* --- island geometry --- *)
+
+let test_slice_region_sides () =
+  let core = Geom.rect ~llx:0.0 ~lly:0.0 ~urx:100.0 ~ury:50.0 in
+  let r = Island.slice_region ~core Island.Vertical Density.Left ~cut:30.0 in
+  Alcotest.(check bool) "left slab" true (r.Geom.llx = 0.0 && r.Geom.urx = 30.0);
+  let r = Island.slice_region ~core Island.Vertical Density.Right ~cut:70.0 in
+  Alcotest.(check bool) "right slab" true (r.Geom.llx = 70.0 && r.Geom.urx = 100.0);
+  let r = Island.slice_region ~core Island.Horizontal Density.Top ~cut:20.0 in
+  Alcotest.(check bool) "top slab" true (r.Geom.lly = 20.0 && r.Geom.ury = 50.0);
+  try
+    ignore (Island.slice_region ~core Island.Vertical Density.Top ~cut:20.0);
+    Alcotest.fail "incompatible side should be rejected"
+  with Invalid_argument _ -> ()
+
+let test_islands_nested () =
+  let _, v = Lazy.force env in
+  let part = v.Flow.slicing.Slicing.partition in
+  let islands = part.Island.islands in
+  for k = 0 to Array.length islands - 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "VI%d inside VI%d" (k + 1) (k + 2))
+      true
+      (Geom.subsumes islands.(k + 1).Island.region islands.(k).Island.region);
+    Alcotest.(check bool) "cell sets nested too" true
+      (Array.length islands.(k).Island.cells
+      <= Array.length islands.(k + 1).Island.cells)
+  done;
+  Alcotest.(check int) "three islands" 3 (Array.length islands)
+
+let test_domains_consistent () =
+  let t, v = Lazy.force env in
+  let part = v.Flow.slicing.Slicing.partition in
+  let domains = Island.domains part t.Flow.placement in
+  Array.iteri
+    (fun cid d ->
+      let pt =
+        Geom.point t.Flow.placement.Pvtol_place.Placement.xs.(cid)
+          t.Flow.placement.Pvtol_place.Placement.ys.(cid)
+      in
+      (* Domain d means: inside islands d, d+1, ... and outside d-1. *)
+      Alcotest.(check int) "domain matches geometry" (Island.domain_of_point part pt) d)
+    domains;
+  (* Island-1 cells are exactly the domain-1 cells. *)
+  let in_island_1 = part.Island.islands.(0).Island.cells in
+  Array.iter
+    (fun cid -> Alcotest.(check int) "island-1 cell domain" 1 domains.(cid))
+    in_island_1
+
+let test_vdd_assignment_monotone () =
+  let t, v = Lazy.force env in
+  let part = v.Flow.slicing.Slicing.partition in
+  let domains = Island.domains part t.Flow.placement in
+  let lib = t.Flow.netlist.Netlist.lib in
+  let n = Netlist.cell_count t.Flow.netlist in
+  for raised = 0 to 2 do
+    let count v_of =
+      let c = ref 0 in
+      for cid = 0 to n - 1 do
+        if v_of cid > 1.1 then incr c
+      done;
+      !c
+    in
+    let now = count (Island.vdd_assignment part ~domains ~raised ~lib) in
+    let next = count (Island.vdd_assignment part ~domains ~raised:(raised + 1) ~lib) in
+    Alcotest.(check bool) "raising more islands raises more cells" true (next >= now)
+  done;
+  (* raised = 0 means everything low. *)
+  let all_low =
+    Array.for_all
+      (fun cid -> Island.vdd_assignment part ~domains ~raised:0 ~lib cid < 1.1)
+      (Array.init n (fun i -> i))
+  in
+  Alcotest.(check bool) "raised 0 all low" true all_low
+
+(* --- slicing --- *)
+
+let test_slicing_compensates_at_corner () =
+  let t, v = Lazy.force env in
+  let part = v.Flow.slicing.Slicing.partition in
+  let domains = Island.domains part t.Flow.placement in
+  let lib = t.Flow.netlist.Netlist.lib in
+  (* Re-run the deterministic corner check the generator used for the
+     most severe scenario: all stages must meet the clock. *)
+  let systematic = Sampler.systematic_lgates t.Flow.sampler t.Flow.placement Position.point_a in
+  let vdd = Island.vdd_assignment part ~domains ~raised:3 ~lib in
+  let base = Sta.nominal_delays t.Flow.sta in
+  let delays =
+    Array.mapi
+      (fun i b ->
+        b
+        *. Slicing.corner_scale ~sampler:t.Flow.sampler ~systematic
+             ~corner_kappa:t.Flow.config.Flow.corner_kappa ~vdd i)
+      base
+  in
+  let r = Sta.analyze t.Flow.sta ~delays in
+  List.iter
+    (fun s ->
+      match Sta.stage_delay r s with
+      | Some d ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s compensated at corner A" (Stage.name s))
+          true
+          (d <= t.Flow.clock +. 1e-9)
+      | None -> ())
+    [ Stage.Decode; Stage.Execute; Stage.Writeback ]
+
+let test_slicing_infeasible () =
+  let t, _ = Lazy.force env in
+  (* An impossible clock cannot be compensated even chip-wide. *)
+  try
+    ignore
+      (Slicing.generate ~direction:Island.Vertical ~sta:t.Flow.sta
+         ~placement:t.Flow.placement ~sampler:t.Flow.sampler
+         ~clock:(t.Flow.clock /. 2.0)
+         ~targets:[ { Slicing.scenario_index = 1; position = Position.point_a } ]
+         ());
+    Alcotest.fail "expected Infeasible"
+  with Slicing.Infeasible _ -> ()
+
+(* --- level shifters --- *)
+
+let test_ls_netlist_valid () =
+  let _, v = Lazy.force env in
+  match Netlist.check v.Flow.shifted.Level_shifter.netlist with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "shifted netlist invalid: %s" (List.hd es)
+
+let test_ls_covers_all_crossings () =
+  let t, v = Lazy.force env in
+  let shifted = v.Flow.shifted in
+  (* After insertion there must be no remaining low->high crossing whose
+     driver is not itself a level shifter. *)
+  let nl = shifted.Level_shifter.netlist in
+  let domains = shifted.Level_shifter.domains in
+  let violations = ref 0 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      match net.Netlist.driver with
+      | None -> ()
+      | Some d ->
+        let is_ls =
+          nl.Netlist.cells.(d).Netlist.cell.Pvtol_stdcell.Cell.kind
+          = Pvtol_stdcell.Kind.Ls
+        in
+        if not is_ls then
+          Array.iter
+            (fun (cid, _) ->
+              (* A sink that is itself a level shifter is the inserted
+                 boundary element, not a violation. *)
+              let sink_is_ls =
+                nl.Netlist.cells.(cid).Netlist.cell.Pvtol_stdcell.Cell.kind
+                = Pvtol_stdcell.Kind.Ls
+              in
+              if (not sink_is_ls) && domains.(cid) < domains.(d) then
+                incr violations)
+            net.Netlist.sinks)
+    nl.Netlist.nets;
+  ignore t;
+  Alcotest.(check int) "no unshifted crossings remain" 0 !violations
+
+let test_ls_count_consistent () =
+  let t, v = Lazy.force env in
+  let shifted = v.Flow.shifted in
+  let expected =
+    Level_shifter.count_crossings v.Flow.slicing.Slicing.partition t.Flow.placement
+      t.Flow.netlist
+  in
+  Alcotest.(check int) "count matches analysis" expected
+    shifted.Level_shifter.count;
+  Alcotest.(check int) "ids appended at the end"
+    (Netlist.cell_count t.Flow.netlist)
+    shifted.Level_shifter.first_ls;
+  Alcotest.(check int) "netlist grew by count"
+    (Netlist.cell_count t.Flow.netlist + shifted.Level_shifter.count)
+    (Netlist.cell_count shifted.Level_shifter.netlist)
+
+let test_ls_area_positive () =
+  let _, v = Lazy.force env in
+  Alcotest.(check bool) "ls area fraction sane" true
+    (v.Flow.shifted.Level_shifter.ls_area_frac > 0.0
+    && v.Flow.shifted.Level_shifter.ls_area_frac < 1.0)
+
+(* --- flow & power --- *)
+
+let test_flow_scenarios_ladder () =
+  let t, _ = Lazy.force env in
+  let indexes =
+    List.map (fun (sc : Pvtol_ssta.Scenario.t) -> sc.Pvtol_ssta.Scenario.index)
+      (t.Flow.scenarios ())
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ladder relaxes along diagonal" true (non_increasing indexes);
+  Alcotest.(check bool) "something violates at A" true (List.hd indexes > 0)
+
+let test_power_orderings () =
+  let t, v = Lazy.force env in
+  let total cfg pos = Power.total_mw (Flow.power_at t ~position:pos cfg).Power.total in
+  let low = total Flow.Baseline_low Position.point_a in
+  let high = total Flow.Chip_wide_high Position.point_a in
+  Alcotest.(check bool) "chip-wide high > baseline" true (high > low);
+  (* More islands raised costs more power at the same position. *)
+  let p1 = total (Flow.Islands (v, 1)) Position.point_a in
+  let p2 = total (Flow.Islands (v, 2)) Position.point_a in
+  let p3 = total (Flow.Islands (v, 3)) Position.point_a in
+  Alcotest.(check bool) "monotone in raised islands" true (p1 <= p2 && p2 <= p3)
+
+let test_vdd_assignment_via_shifted () =
+  let t, v = Lazy.force env in
+  let shifted = v.Flow.shifted in
+  let n = Netlist.cell_count shifted.Level_shifter.netlist in
+  (* With everything raised, every cell inside VI3 runs high. *)
+  let domains = shifted.Level_shifter.domains in
+  for cid = 0 to n - 1 do
+    let vdd = Level_shifter.vdd_assignment shifted ~raised:3 cid in
+    if domains.(cid) <= 3 then
+      Alcotest.(check bool) "inside raised" true (vdd > 1.1)
+    else Alcotest.(check bool) "outside low" true (vdd < 1.1)
+  done;
+  ignore t
+
+let test_degradation_bounded () =
+  let _, v = Lazy.force env in
+  Alcotest.(check bool) "post-LS degradation within 20%" true
+    (v.Flow.degradation < 0.20)
+
+(* --- experiments rendering --- *)
+
+let test_experiments_render () =
+  let t, v = Lazy.force env in
+  (* Reuse the prepared pieces rather than re-running the whole flow. *)
+  let ctx =
+    {
+      Experiments.flow = t;
+      vertical = v;
+      horizontal = Flow.variant t Island.Horizontal;
+    }
+  in
+  List.iter
+    (fun (name, text) ->
+      Alcotest.(check bool) (name ^ " non-empty") true (String.length text > 80))
+    [
+      ("fig2", Experiments.fig2_lgate_map ());
+      ("table1", Experiments.table1_breakdown t);
+      ("fig3", Experiments.fig3_distributions t);
+      ("scenarios", Experiments.scenarios_summary t);
+      ("razor", Experiments.razor_sites t);
+      ("fig4", Experiments.fig4_islands ctx);
+      ("table2", Experiments.table2_level_shifters ctx);
+      ("fig5", Experiments.fig5_total_power ctx);
+      ("fig6", Experiments.fig6_leakage ctx);
+      ("energy", Experiments.energy_note ctx);
+    ]
+
+let suite =
+  ( "core",
+    [
+      Alcotest.test_case "slice region sides" `Quick test_slice_region_sides;
+      Alcotest.test_case "islands nested" `Quick test_islands_nested;
+      Alcotest.test_case "domains consistent" `Quick test_domains_consistent;
+      Alcotest.test_case "vdd assignment monotone" `Quick test_vdd_assignment_monotone;
+      Alcotest.test_case "slicing compensates corner" `Quick
+        test_slicing_compensates_at_corner;
+      Alcotest.test_case "slicing infeasible" `Quick test_slicing_infeasible;
+      Alcotest.test_case "ls netlist valid" `Quick test_ls_netlist_valid;
+      Alcotest.test_case "ls covers crossings" `Quick test_ls_covers_all_crossings;
+      Alcotest.test_case "ls count consistent" `Quick test_ls_count_consistent;
+      Alcotest.test_case "ls area positive" `Quick test_ls_area_positive;
+      Alcotest.test_case "flow scenario ladder" `Quick test_flow_scenarios_ladder;
+      Alcotest.test_case "power orderings" `Quick test_power_orderings;
+      Alcotest.test_case "vdd via shifted design" `Quick test_vdd_assignment_via_shifted;
+      Alcotest.test_case "degradation bounded" `Quick test_degradation_bounded;
+      Alcotest.test_case "experiments render" `Quick test_experiments_render;
+    ] )

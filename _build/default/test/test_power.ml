@@ -1,0 +1,175 @@
+(* Tests for the gate-level activity simulator and the power engine. *)
+
+open Pvtol_netlist
+module Builder = Netlist.Builder
+module Kind = Pvtol_stdcell.Kind
+module Cell = Pvtol_stdcell.Cell
+module Gatesim = Pvtol_power.Gatesim
+module Power = Pvtol_power.Power
+
+let lib = Cell.default_library
+let stage = Stage.Execute
+
+(* inverter chain: input -> inv -> inv -> out *)
+let inv_chain () =
+  let b = Builder.create lib in
+  let a = Builder.input b "a" in
+  let n1 = Builder.add b ~stage ~unit_name:"u" Kind.Inv [| a |] in
+  let n2 = Builder.add b ~stage ~unit_name:"u" Kind.Inv [| n1 |] in
+  Builder.output b n2 "out";
+  Builder.freeze b
+
+let test_gatesim_alternating_input () =
+  let nl = inv_chain () in
+  let act =
+    Gatesim.run ~cycles:16 nl (fun ~cycle ~input_index:_ -> cycle mod 2 = 1)
+  in
+  (* Every cell toggles on all but possibly the first cycle. *)
+  Array.iter
+    (fun t -> Alcotest.(check bool) "toggles nearly every cycle" true (t >= 15))
+    act.Gatesim.toggles
+
+let test_gatesim_constant_input_settles () =
+  let nl = inv_chain () in
+  let const ~cycle:_ ~input_index:_ = true in
+  let a8 = Gatesim.run ~cycles:8 nl const in
+  let a16 = Gatesim.run ~cycles:16 nl const in
+  (* After settling, no further toggles accumulate. *)
+  Alcotest.(check bool) "settled" true (a8.Gatesim.toggles = a16.Gatesim.toggles)
+
+let test_gatesim_dff_divider () =
+  (* A toggle flop (q -> inv -> d) divides the clock by two. *)
+  let b = Builder.create lib in
+  let stub = Builder.placeholder b "d" in
+  let q = Builder.add b ~stage ~unit_name:"u" Kind.Dff [| stub |] in
+  let nq = Builder.add b ~stage ~unit_name:"u" Kind.Inv [| q |] in
+  (match Builder.driver_of b q with
+  | Some cell -> Builder.rewire b ~cell ~pin:0 nq
+  | None -> assert false);
+  Builder.output b q "q";
+  let nl = Builder.freeze b in
+  let act = Gatesim.run ~cycles:32 nl (fun ~cycle:_ ~input_index:_ -> false) in
+  (* Both the flop and the inverter toggle every cycle. *)
+  Array.iter
+    (fun t -> Alcotest.(check bool) "divider toggles" true (t >= 31))
+    act.Gatesim.toggles
+
+let test_gatesim_deterministic_stimulus () =
+  let nl = inv_chain () in
+  let a = Gatesim.run ~cycles:32 nl (Gatesim.random_stimulus ~seed:7) in
+  let b = Gatesim.run ~cycles:32 nl (Gatesim.random_stimulus ~seed:7) in
+  Alcotest.(check bool) "same seed same toggles" true
+    (a.Gatesim.toggles = b.Gatesim.toggles)
+
+let small =
+  lazy
+    (let v = Pvtol_vex.Vex_core.build Pvtol_vex.Vex_core.small_config in
+     let nl = v.Pvtol_vex.Vex_core.netlist in
+     let fp = Pvtol_place.Floorplan.create ~cell_area:(Netlist.area nl) () in
+     let p = Pvtol_place.Placer.place nl fp in
+     let act = Gatesim.run ~cycles:64 nl (Gatesim.random_stimulus ~seed:3) in
+     (nl, p, act))
+
+let test_trace_stimulus_mapping () =
+  let nl, _, _ = Lazy.force small in
+  let fir = Pvtol_vexsim.Fir.run ~taps:4 ~samples:8 () in
+  let stim, n =
+    Gatesim.trace_stimulus nl ~instr_prefix:"instr"
+      ~words:fir.Pvtol_vexsim.Fir.trace
+      ~fallback:(Gatesim.random_stimulus ~seed:1)
+  in
+  Alcotest.(check int) "trace length" fir.Pvtol_vexsim.Fir.stats.Pvtol_vexsim.Sim.cycles n;
+  (* Find the instr[0] input and check it reflects the first word's LSB. *)
+  let idx = ref (-1) in
+  Array.iteri
+    (fun i nid ->
+      if nl.Netlist.nets.(nid).Netlist.net_name = "instr[0]" then idx := i)
+    nl.Netlist.inputs;
+  Alcotest.(check bool) "instr[0] found" true (!idx >= 0);
+  let w0 = (List.hd fir.Pvtol_vexsim.Fir.trace).(0) in
+  Alcotest.(check bool) "bit mapping" true
+    (stim ~cycle:0 ~input_index:!idx = (Int32.logand w0 1l = 1l))
+
+let analyze ?(vdd = fun _ -> 1.0) () =
+  let nl, p, act = Lazy.force small in
+  Power.analyze ~vdd ~activity:act
+    ~wire_length:(fun nid -> Pvtol_place.Placement.wire_length p nid)
+    ~clock_ns:3.0 nl
+
+let test_power_positive_and_consistent () =
+  let r = analyze () in
+  Alcotest.(check bool) "positive total" true (Power.total_mw r.Power.total > 0.0);
+  (* Stage breakdown sums to total. *)
+  let stage_sum =
+    List.fold_left (fun acc (_, b) -> acc +. Power.total_mw b) 0.0 r.Power.by_stage
+  in
+  Alcotest.(check bool) "stages sum to total" true
+    (Float.abs (stage_sum -. Power.total_mw r.Power.total) < 1e-9);
+  (* Per-cell sums to total too. *)
+  let cell_sum = Power.sum_cells r (fun _ -> true) in
+  Alcotest.(check bool) "cells sum to total" true
+    (Float.abs (Power.total_mw cell_sum -. Power.total_mw r.Power.total) < 1e-9)
+
+let test_power_vdd_monotone () =
+  let low = analyze () in
+  let high = analyze ~vdd:(fun _ -> 1.2) () in
+  Alcotest.(check bool) "1.2V costs more" true
+    (Power.total_mw high.Power.total > Power.total_mw low.Power.total);
+  Alcotest.(check bool) "leakage rises too" true
+    (high.Power.total.Power.leakage_mw > low.Power.total.Power.leakage_mw);
+  (* Switching scales between 1x and the full quadratic factor (wire
+     load is vdd-independent in the energy model only via 0.5CV^2,
+     internal scales quadratically). *)
+  let ratio =
+    high.Power.total.Power.switching_mw /. low.Power.total.Power.switching_mw
+  in
+  Alcotest.(check bool) "switching ratio ~ vdd^2" true (ratio > 1.3 && ratio < 1.5)
+
+let test_power_partial_vdd_between () =
+  let nl, _, _ = Lazy.force small in
+  let n = Netlist.cell_count nl in
+  let low = Power.total_mw (analyze ()).Power.total in
+  let high = Power.total_mw (analyze ~vdd:(fun _ -> 1.2) ()).Power.total in
+  let mixed =
+    Power.total_mw (analyze ~vdd:(fun cid -> if cid < n / 2 then 1.2 else 1.0) ()).Power.total
+  in
+  Alcotest.(check bool) "mixed supply in between" true (mixed > low && mixed < high)
+
+let test_power_frequency_scaling () =
+  let nl, p, act = Lazy.force small in
+  let wire nid = Pvtol_place.Placement.wire_length p nid in
+  let at clk =
+    Power.analyze ~vdd:(fun _ -> 1.0) ~activity:act ~wire_length:wire
+      ~clock_ns:clk nl
+  in
+  let f1 = at 2.0 and f2 = at 4.0 in
+  (* Dynamic power halves with the frequency; leakage does not change. *)
+  Alcotest.(check bool) "switching scales with f" true
+    (Float.abs ((f1.Power.total.Power.switching_mw /. 2.0)
+               -. f2.Power.total.Power.switching_mw) < 1e-9);
+  Alcotest.(check bool) "leakage frequency independent" true
+    (Float.abs (f1.Power.total.Power.leakage_mw -. f2.Power.total.Power.leakage_mw) < 1e-12)
+
+let test_power_lgate_leakage () =
+  let nl, p, act = Lazy.force small in
+  let wire nid = Pvtol_place.Placement.wire_length p nid in
+  let at lg =
+    (Power.analyze ~lgate_nm:(fun _ -> lg) ~vdd:(fun _ -> 1.0) ~activity:act
+       ~wire_length:wire ~clock_ns:3.0 nl).Power.total.Power.leakage_mw
+  in
+  Alcotest.(check bool) "short channel leaks more" true (at 61.0 > at 65.0)
+
+let suite =
+  ( "power",
+    [
+      Alcotest.test_case "gatesim alternating" `Quick test_gatesim_alternating_input;
+      Alcotest.test_case "gatesim settles" `Quick test_gatesim_constant_input_settles;
+      Alcotest.test_case "gatesim dff divider" `Quick test_gatesim_dff_divider;
+      Alcotest.test_case "gatesim deterministic" `Quick test_gatesim_deterministic_stimulus;
+      Alcotest.test_case "trace stimulus mapping" `Quick test_trace_stimulus_mapping;
+      Alcotest.test_case "power consistency" `Quick test_power_positive_and_consistent;
+      Alcotest.test_case "power vdd monotone" `Quick test_power_vdd_monotone;
+      Alcotest.test_case "power partial vdd" `Quick test_power_partial_vdd_between;
+      Alcotest.test_case "power frequency scaling" `Quick test_power_frequency_scaling;
+      Alcotest.test_case "power lgate leakage" `Quick test_power_lgate_leakage;
+    ] )

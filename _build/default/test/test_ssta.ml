@@ -1,0 +1,204 @@
+(* Tests for the Monte-Carlo SSTA engine, scenario classification and
+   Razor sensor selection. *)
+
+module MC = Pvtol_ssta.Monte_carlo
+module Scenario = Pvtol_ssta.Scenario
+module Sensors = Pvtol_ssta.Sensors
+module Sta = Pvtol_timing.Sta
+module Sampler = Pvtol_variation.Sampler
+module Position = Pvtol_variation.Position
+module Netlist = Pvtol_netlist.Netlist
+module Stage = Pvtol_netlist.Stage
+
+let env =
+  lazy
+    (let v = Pvtol_vex.Vex_core.build Pvtol_vex.Vex_core.small_config in
+     let nl = v.Pvtol_vex.Vex_core.netlist in
+     let fp = Pvtol_place.Floorplan.create ~cell_area:(Netlist.area nl) () in
+     let p = Pvtol_place.Placer.place nl fp in
+     let sta =
+       Sta.of_placement p ~capture:v.Pvtol_vex.Vex_core.capture_stage
+     in
+     (v, nl, p, sta, Sampler.create ()))
+
+let run ?(samples = 60) ?(seed = 5) ?vdd position =
+  let _, _, p, sta, sampler = Lazy.force env in
+  MC.run ~config:{ MC.samples; seed } ?vdd ~sampler ~sta ~placement:p ~position ()
+
+let test_mc_deterministic () =
+  let a = run Position.point_a and b = run Position.point_a in
+  List.iter2
+    (fun (x : MC.stage_stats) (y : MC.stage_stats) ->
+      Alcotest.(check bool) "same samples" true (x.MC.samples = y.MC.samples))
+    a.MC.stages b.MC.stages
+
+let test_mc_seed_changes_samples () =
+  let a = run ~seed:5 Position.point_a and b = run ~seed:6 Position.point_a in
+  let xa = (List.hd a.MC.stages).MC.samples
+  and xb = (List.hd b.MC.stages).MC.samples in
+  Alcotest.(check bool) "different seed different draw" true (xa <> xb)
+
+let test_mc_stage_coverage () =
+  let r = run Position.point_a in
+  let stages = List.map (fun (s : MC.stage_stats) -> s.MC.stage) r.MC.stages in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s analyzed" (Stage.name s))
+        true (List.mem s stages))
+    [ Stage.Fetch; Stage.Decode; Stage.Execute; Stage.Writeback ]
+
+let test_mc_position_ordering () =
+  (* Delays at the slow corner stochastically dominate the fast one. *)
+  let a = run Position.point_a and d = run Position.point_d in
+  List.iter2
+    (fun (sa : MC.stage_stats) (sd : MC.stage_stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s slower at A" (Stage.name sa.MC.stage))
+        true
+        (sa.MC.summary.Pvtol_util.Stats.mean > sd.MC.summary.Pvtol_util.Stats.mean))
+    a.MC.stages d.MC.stages
+
+let test_mc_three_sigma_above_mean () =
+  let r = run Position.point_b in
+  List.iter
+    (fun (ss : MC.stage_stats) ->
+      Alcotest.(check bool) "3-sigma above mean" true
+        (MC.three_sigma_delay ss > ss.MC.summary.Pvtol_util.Stats.mean))
+    r.MC.stages
+
+let test_mc_high_vdd_shifts_down () =
+  let _, nl, _, _, _ = Lazy.force env in
+  let p = nl.Netlist.lib.Pvtol_stdcell.Cell.process in
+  let low = run Position.point_a in
+  let high = run ~vdd:(fun _ -> p.Pvtol_stdcell.Process.vdd_high) Position.point_a in
+  List.iter2
+    (fun (l : MC.stage_stats) (h : MC.stage_stats) ->
+      Alcotest.(check bool) "high vdd faster" true
+        (h.MC.summary.Pvtol_util.Stats.mean < l.MC.summary.Pvtol_util.Stats.mean))
+    low.MC.stages high.MC.stages
+
+let test_scenario_classification () =
+  let r = run ~samples:80 Position.point_a in
+  (* With an absurdly large clock nothing violates... *)
+  let sc = Scenario.classify ~clock:1e9 r in
+  Alcotest.(check int) "no violation at huge clock" 0 sc.Scenario.index;
+  Alcotest.(check bool) "worst_violation zero" true
+    (Scenario.worst_violation sc = 0.0);
+  (* ...and with a tiny clock every analyzed stage violates. *)
+  let sc2 = Scenario.classify ~clock:1e-9 r in
+  Alcotest.(check int) "all violate at tiny clock" 3 sc2.Scenario.index;
+  (* Violating stages are ordered worst-first. *)
+  match sc2.Scenario.violating with
+  | first :: _ ->
+    let worst =
+      List.fold_left
+        (fun (bs, bd) (s : Scenario.stage_slack) ->
+          if s.Scenario.slack < bd then (s.Scenario.stage, s.Scenario.slack)
+          else (bs, bd))
+        (Stage.Fetch, infinity) sc2.Scenario.stage_slacks
+    in
+    Alcotest.(check bool) "ordered worst first" true (Stage.equal first (fst worst))
+  | [] -> Alcotest.fail "expected violations"
+
+let test_scenario_ladder_monotone () =
+  (* The scenario index never increases as the die moves toward the fast
+     corner, for any clock choice taken from the data. *)
+  let a = run ~samples:80 Position.point_a in
+  let clock =
+    match MC.stage_stats a Stage.Execute with
+    | Some ss -> MC.three_sigma_delay ss *. 0.99
+    | None -> Alcotest.fail "execute stats missing"
+  in
+  let indexes =
+    List.map
+      (fun pos -> (Scenario.classify ~clock (run ~samples:80 pos)).Scenario.index)
+      Position.named
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ladder non-increasing along diagonal" true
+    (non_increasing indexes)
+
+let test_analytic_clark_max () =
+  let module An = Pvtol_ssta.Analytic in
+  (* Degenerate case: zero variance reduces to plain max. *)
+  let a = { An.mean = 3.0; var = 0.0 } and b = { An.mean = 1.0; var = 0.0 } in
+  let m = An.clark_max a b in
+  Alcotest.(check bool) "degenerate max" true
+    (Float.abs (m.An.mean -. 3.0) < 1e-12 && m.An.var < 1e-12);
+  (* Symmetric case: max of two iid N(0,1) has mean 1/sqrt(pi). *)
+  let g = { An.mean = 0.0; var = 1.0 } in
+  let m = An.clark_max g g in
+  Alcotest.(check bool) "iid normal max mean" true
+    (Float.abs (m.An.mean -. (1.0 /. sqrt Float.pi)) < 1e-9);
+  (* Monte-Carlo validation of Clark's moments on an asymmetric pair. *)
+  let rng = Pvtol_util.Srng.create 17 in
+  let acc = Pvtol_util.Stats.Running.create () in
+  let a = { An.mean = 1.0; var = 0.04 } and b = { An.mean = 1.1; var = 0.09 } in
+  for _ = 1 to 40_000 do
+    let x = Pvtol_util.Srng.gaussian_mu_sigma rng ~mu:a.An.mean ~sigma:(sqrt a.An.var) in
+    let y = Pvtol_util.Srng.gaussian_mu_sigma rng ~mu:b.An.mean ~sigma:(sqrt b.An.var) in
+    Pvtol_util.Stats.Running.add acc (Float.max x y)
+  done;
+  let m = An.clark_max a b in
+  Alcotest.(check bool) "clark mean vs MC" true
+    (Float.abs (m.An.mean -. Pvtol_util.Stats.Running.mean acc) < 0.01);
+  Alcotest.(check bool) "clark var vs MC" true
+    (Float.abs (m.An.var -. Pvtol_util.Stats.Running.variance acc) < 0.01)
+
+let test_analytic_matches_mc () =
+  let module An = Pvtol_ssta.Analytic in
+  let _, _, p, sta, sampler = Lazy.force env in
+  let mc = run ~samples:150 Position.point_a in
+  let systematic = Sampler.systematic_lgates sampler p Position.point_a in
+  let an = An.analyze ~sta ~sampler ~systematic () in
+  List.iter
+    (fun s ->
+      match (MC.stage_stats mc s, List.assoc_opt s an.An.stage_delay) with
+      | Some ss, Some g ->
+        let mc3 = MC.three_sigma_delay ss in
+        let an3 = An.three_sigma g in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s analytic within 2%% of MC" (Stage.name s))
+          true
+          (Float.abs (mc3 -. an3) /. mc3 < 0.02)
+      | _ -> Alcotest.fail "missing stage")
+    [ Stage.Decode; Stage.Execute; Stage.Writeback ]
+
+let test_sensors () =
+  let _, nl, _, _, _ = Lazy.force env in
+  let r = run ~samples:80 Position.point_a in
+  let plan = Sensors.select r nl in
+  Alcotest.(check bool) "some sites selected" true (List.length plan.Sensors.sites > 0);
+  List.iter
+    (fun (site : Sensors.site) ->
+      Alcotest.(check bool) "criticality above threshold" true
+        (site.Sensors.criticality >= 0.01);
+      Alcotest.(check bool) "site is a flop" false
+        (Netlist.is_comb nl.Netlist.cells.(site.Sensors.endpoint)))
+    plan.Sensors.sites;
+  Alcotest.(check bool) "overhead fraction sane" true
+    (plan.Sensors.area_overhead_frac > 0.0 && plan.Sensors.area_overhead_frac < 0.2);
+  (* A stricter threshold never selects more sites. *)
+  let strict = Sensors.select ~min_criticality:0.5 r nl in
+  Alcotest.(check bool) "stricter threshold fewer sites" true
+    (List.length strict.Sensors.sites <= List.length plan.Sensors.sites)
+
+let suite =
+  ( "ssta",
+    [
+      Alcotest.test_case "mc deterministic" `Quick test_mc_deterministic;
+      Alcotest.test_case "mc seed sensitivity" `Quick test_mc_seed_changes_samples;
+      Alcotest.test_case "mc stage coverage" `Quick test_mc_stage_coverage;
+      Alcotest.test_case "mc position ordering" `Quick test_mc_position_ordering;
+      Alcotest.test_case "mc 3-sigma above mean" `Quick test_mc_three_sigma_above_mean;
+      Alcotest.test_case "mc high vdd shifts down" `Quick test_mc_high_vdd_shifts_down;
+      Alcotest.test_case "scenario classification" `Quick test_scenario_classification;
+      Alcotest.test_case "scenario ladder monotone" `Quick test_scenario_ladder_monotone;
+      Alcotest.test_case "sensor selection" `Quick test_sensors;
+      Alcotest.test_case "clark max moments" `Quick test_analytic_clark_max;
+      Alcotest.test_case "analytic vs MC" `Quick test_analytic_matches_mc;
+    ] )

@@ -1,0 +1,356 @@
+(* Tests for the STA engine, path extraction, SDF interchange and the
+   sizing passes. *)
+
+open Pvtol_netlist
+module Builder = Netlist.Builder
+module Kind = Pvtol_stdcell.Kind
+module Cell = Pvtol_stdcell.Cell
+module Sta = Pvtol_timing.Sta
+module Paths = Pvtol_timing.Paths
+module Sdf = Pvtol_timing.Sdf
+module Sizing = Pvtol_timing.Sizing
+
+let lib = Cell.default_library
+let stage = Stage.Execute
+let no_wire _ = 0.0
+let capture_all (c : Netlist.cell) =
+  if Kind.is_sequential c.Netlist.cell.Cell.kind then Some Stage.Execute else None
+
+(* A hand-built chain: DFF -> inv -> inv -> inv -> DFF. *)
+let chain_netlist n_invs =
+  let b = Builder.create ~design_name:"chain" lib in
+  let stub = Builder.placeholder b "d0" in
+  let q = Builder.add b ~stage ~unit_name:"launch" Kind.Dff [| stub |] in
+  let rec invs net k =
+    if k = 0 then net
+    else invs (Builder.add b ~stage ~unit_name:"chain" Kind.Inv [| net |]) (k - 1)
+  in
+  let last = invs q n_invs in
+  let q2 = Builder.add b ~stage ~unit_name:"capture" Kind.Dff [| last |] in
+  (* Tie the launch flop's D to the capture flop's Q to close the loop. *)
+  (match Builder.driver_of b q with
+  | Some cell -> Builder.rewire b ~cell ~pin:0 q2
+  | None -> assert false);
+  Builder.freeze b
+
+let test_sta_chain_arithmetic () =
+  let nl = chain_netlist 3 in
+  let sta = Sta.build nl ~wire_length:no_wire ~capture:capture_all in
+  let delays = Sta.nominal_delays sta in
+  let r = Sta.analyze sta ~delays in
+  (* Expected: clk->q of launch + 3 inverter delays + setup; compute the
+     same quantity from the per-cell delays. *)
+  let launch = nl.Netlist.cells.(0) in
+  let expected =
+    delays.(launch.Netlist.id)
+    +. delays.(1) +. delays.(2) +. delays.(3)
+    +. lib.Cell.setup
+  in
+  Alcotest.(check bool) "worst = chain sum" true
+    (Float.abs (r.Sta.worst -. expected) < 1e-9);
+  (* Only one capture stage. *)
+  Alcotest.(check int) "one stage entry" 1 (List.length r.Sta.stage_worst)
+
+let test_sta_uses_max_path () =
+  (* Two parallel paths of different depth into the same flop. *)
+  let b = Builder.create lib in
+  let stub = Builder.placeholder b "d" in
+  let q = Builder.add b ~stage ~unit_name:"l" Kind.Dff [| stub |] in
+  let short = Builder.add b ~stage ~unit_name:"u" Kind.Inv [| q |] in
+  let deep1 = Builder.add b ~stage ~unit_name:"u" Kind.Inv [| q |] in
+  let deep2 = Builder.add b ~stage ~unit_name:"u" Kind.Inv [| deep1 |] in
+  let deep3 = Builder.add b ~stage ~unit_name:"u" Kind.Inv [| deep2 |] in
+  let join = Builder.add b ~stage ~unit_name:"u" Kind.Nand2 [| short; deep3 |] in
+  let q2 = Builder.add b ~stage ~unit_name:"c" Kind.Dff [| join |] in
+  (match Builder.driver_of b q with
+  | Some cell -> Builder.rewire b ~cell ~pin:0 q2
+  | None -> assert false);
+  let nl = Builder.freeze b in
+  let sta = Sta.build nl ~wire_length:no_wire ~capture:capture_all in
+  let delays = Sta.nominal_delays sta in
+  let r = Sta.analyze sta ~delays in
+  (* Trace must follow the deep branch: 1 launch + 3 inv + nand + capture. *)
+  match Paths.critical sta ~delays r with
+  | Some path ->
+    Alcotest.(check int) "deep path hop count" 5 (List.length path.Paths.hops);
+    (* Hop arrivals are non-decreasing. *)
+    let rec monotone = function
+      | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "arrivals non-decreasing" true
+          (a.Paths.arrival_out <= b.Paths.arrival_out +. 1e-12);
+        monotone rest
+      | _ -> ()
+    in
+    monotone path.Paths.hops
+  | None -> Alcotest.fail "critical path expected"
+
+let test_delay_monotonicity =
+  QCheck.Test.make ~name:"increasing any cell delay never reduces worst"
+    ~count:50 (QCheck.int_bound 1000)
+    (fun cell_pick ->
+      let nl = chain_netlist 5 in
+      let sta = Sta.build nl ~wire_length:no_wire ~capture:capture_all in
+      let delays = Sta.nominal_delays sta in
+      let r0 = Sta.analyze sta ~delays in
+      let i = cell_pick mod Netlist.cell_count nl in
+      delays.(i) <- delays.(i) +. 0.5;
+      let r1 = Sta.analyze sta ~delays in
+      r1.Sta.worst >= r0.Sta.worst -. 1e-12)
+
+let small_sta =
+  lazy
+    (let v = Pvtol_vex.Vex_core.build Pvtol_vex.Vex_core.small_config in
+     let nl = v.Pvtol_vex.Vex_core.netlist in
+     let fp = Pvtol_place.Floorplan.create ~cell_area:(Netlist.area nl) () in
+     let p = Pvtol_place.Placer.place nl fp in
+     let wire nid = Pvtol_place.Placement.wire_length p nid in
+     (v, nl, wire, Sta.build nl ~wire_length:wire ~capture:v.Pvtol_vex.Vex_core.capture_stage))
+
+let test_required_consistency () =
+  let _, _, _, sta = Lazy.force small_sta in
+  let delays = Sta.nominal_delays sta in
+  let r = Sta.analyze sta ~delays in
+  let clock = r.Sta.worst in
+  let req = Sta.required sta ~delays ~clock in
+  (* At the clock = worst delay, every net slack is >= 0 and the worst
+     endpoint's D-net slack is ~0. *)
+  let min_slack = ref infinity in
+  Array.iteri
+    (fun nid a ->
+      if Float.is_finite req.(nid) then begin
+        let s = req.(nid) -. a in
+        if s < !min_slack then min_slack := s
+      end)
+    r.Sta.arrival;
+  Alcotest.(check bool) "no negative slack at clock=worst" true (!min_slack >= -1e-9);
+  Alcotest.(check bool) "critical net slack ~ 0" true (!min_slack < 1e-6)
+
+let test_stage_worst_bounds_global () =
+  let _, _, _, sta = Lazy.force small_sta in
+  let delays = Sta.nominal_delays sta in
+  let r = Sta.analyze sta ~delays in
+  let max_stage =
+    List.fold_left (fun acc (_, d, _) -> Float.max acc d) 0.0 r.Sta.stage_worst
+  in
+  Alcotest.(check bool) "max over stages = global worst" true
+    (Float.abs (max_stage -. r.Sta.worst) < 1e-9)
+
+let test_vdd_scaling_speeds_up () =
+  let _, nl, _, sta = Lazy.force small_sta in
+  let delays = Sta.nominal_delays sta in
+  let r0 = Sta.analyze sta ~delays in
+  let p = nl.Netlist.lib.Cell.process in
+  let s =
+    Pvtol_stdcell.Process.delay_scale p ~vdd:p.Pvtol_stdcell.Process.vdd_high
+      ~lgate_nm:p.Pvtol_stdcell.Process.l_nominal_nm
+  in
+  let fast = Sta.scaled_delays sta ~scale:(fun _ -> s) in
+  let r1 = Sta.analyze sta ~delays:fast in
+  Alcotest.(check bool) "high vdd strictly faster" true (r1.Sta.worst < r0.Sta.worst)
+
+(* --- SDF --- *)
+
+let test_sdf_roundtrip () =
+  let _, nl, _, sta = Lazy.force small_sta in
+  let delays = Sta.nominal_delays sta in
+  let text = Sdf.to_string nl ~delays in
+  let back = Sdf.of_string nl text in
+  let max_err = ref 0.0 in
+  Array.iteri
+    (fun i d -> max_err := Float.max !max_err (Float.abs (d -. back.(i))))
+    delays;
+  Alcotest.(check bool) "delays survive (ps precision)" true (!max_err < 1e-5)
+
+let test_sdf_rewrite () =
+  let nl = chain_netlist 2 in
+  let sta = Sta.build nl ~wire_length:no_wire ~capture:capture_all in
+  let delays = Sta.nominal_delays sta in
+  let text = Sdf.to_string nl ~delays in
+  let doubled = Sdf.rewrite nl text ~f:(fun _ d -> d *. 2.0) in
+  let back = Sdf.of_string nl doubled in
+  Array.iteri
+    (fun i d ->
+      Alcotest.(check bool) "doubled" true (Float.abs (back.(i) -. (2.0 *. d)) < 1e-5))
+    delays
+
+let test_sdf_errors () =
+  let nl = chain_netlist 1 in
+  (try
+     ignore (Sdf.of_string nl "(DELAYFILE)");
+     Alcotest.fail "missing delays should fail"
+   with Sdf.Parse_error _ -> ());
+  try
+    ignore
+      (Sdf.of_string nl
+         "(CELL (CELLTYPE \"INV_X1\") (INSTANCE nosuch) (DELAY (ABSOLUTE (IOPATH i o (0.1)))))");
+    Alcotest.fail "unknown instance should fail"
+  with Sdf.Parse_error _ -> ()
+
+(* --- sizing --- *)
+
+let test_recover_reduces_area_meets_clock () =
+  let v, nl, wire, sta = Lazy.force small_sta in
+  let delays = Sta.nominal_delays sta in
+  let r = Sta.analyze sta ~delays in
+  let clock = r.Sta.worst *. 1.02 in
+  let rep =
+    Sizing.recover ~clock ~wire_length:wire
+      ~capture:v.Pvtol_vex.Vex_core.capture_stage nl
+  in
+  Alcotest.(check bool) "area reduced" true
+    (rep.Sizing.area_after < rep.Sizing.area_before);
+  let sta2 =
+    Sta.build rep.Sizing.netlist ~wire_length:wire
+      ~capture:v.Pvtol_vex.Vex_core.capture_stage
+  in
+  let r2 = Sta.analyze sta2 ~delays:(Sta.nominal_delays sta2) in
+  Alcotest.(check bool) "clock still met" true (r2.Sta.worst <= clock +. 1e-9)
+
+let test_fit_meets_stage_budgets () =
+  let v, nl, wire, sta = Lazy.force small_sta in
+  let r = Sta.analyze sta ~delays:(Sta.nominal_delays sta) in
+  let clock =
+    match Sta.stage_delay r Stage.Execute with Some d -> d | None -> r.Sta.worst
+  in
+  let rep =
+    Sizing.fit ~clock ~frac:Sizing.balanced_fracs ~wire_length:wire
+      ~capture:v.Pvtol_vex.Vex_core.capture_stage nl
+  in
+  let sta2 =
+    Sta.build rep.Sizing.netlist ~wire_length:wire
+      ~capture:v.Pvtol_vex.Vex_core.capture_stage
+  in
+  let r2 = Sta.analyze sta2 ~delays:(Sta.nominal_delays sta2) in
+  List.iter
+    (fun (s, d, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within budget" (Stage.name s))
+        true
+        (d <= (clock *. Sizing.balanced_fracs s) +. 1e-9))
+    r2.Sta.stage_worst
+
+let test_close_timing_fixes_violation () =
+  let v, nl, wire, sta = Lazy.force small_sta in
+  let r = Sta.analyze sta ~delays:(Sta.nominal_delays sta) in
+  (* Downsize everything to X0, then ask closure to recover a clock the
+     original netlist met. *)
+  let slow =
+    Netlist.remap_cells nl (fun c ->
+        Cell.find lib c.Netlist.cell.Cell.kind Cell.X0)
+  in
+  let clock = r.Sta.worst *. 1.05 in
+  let rep =
+    Sizing.close_timing ~clock ~wire_length:wire
+      ~capture:v.Pvtol_vex.Vex_core.capture_stage slow
+  in
+  let sta2 =
+    Sta.build rep.Sizing.netlist ~wire_length:wire
+      ~capture:v.Pvtol_vex.Vex_core.capture_stage
+  in
+  let r2 = Sta.analyze sta2 ~delays:(Sta.nominal_delays sta2) in
+  Alcotest.(check bool) "violation repaired" true (r2.Sta.worst <= clock +. 1e-9)
+
+let test_worst_endpoints_sorted () =
+  let _, _, _, sta = Lazy.force small_sta in
+  let delays = Sta.nominal_delays sta in
+  let r = Sta.analyze sta ~delays in
+  let eps = Paths.worst_endpoints sta r ~k:10 in
+  Alcotest.(check int) "k endpoints" 10 (List.length eps);
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted slowest first" true (sorted eps);
+  Alcotest.(check bool) "head is the worst" true
+    (Float.abs (snd (List.hd eps) -. r.Sta.worst) < 1e-9)
+
+(* --- clock tree + skew-aware STA --- *)
+
+let test_uniform_skew_is_invisible () =
+  let _, _, _, sta = Lazy.force small_sta in
+  let delays = Sta.nominal_delays sta in
+  let r0 = Sta.analyze sta ~delays in
+  let r1 = Sta.analyze ~skew:(fun _ -> 0.3) sta ~delays in
+  (* Shifting every clock edge equally changes no reg-to-reg path. *)
+  Alcotest.(check bool) "uniform skew cancels" true
+    (Float.abs (r0.Sta.worst -. r1.Sta.worst) < 1e-9)
+
+let test_capture_skew_relaxes_endpoint () =
+  (* Long chain so the chain path dominates even after relaxation (the
+     skewed flop's own launch path through the feedback also grows by
+     the same amount). *)
+  let nl = chain_netlist 12 in
+  let capture_id = Netlist.cell_count nl - 1 in
+  let sta = Sta.build nl ~wire_length:no_wire ~capture:capture_all in
+  let delays = Sta.nominal_delays sta in
+  let r0 = Sta.analyze sta ~delays in
+  let skew cid = if cid = capture_id then 0.05 else 0.0 in
+  let r1 = Sta.analyze ~skew sta ~delays in
+  Alcotest.(check bool) "late capture relaxes" true
+    (Float.abs (r1.Sta.worst -. (r0.Sta.worst -. 0.05)) < 1e-9)
+
+let test_clock_tree () =
+  let module CT = Pvtol_timing.Clock_tree in
+  let _, _, _, sta = Lazy.force small_sta in
+  let v, _, _, _ = Lazy.force small_sta in
+  ignore v;
+  let flops = Sta.flop_ids sta in
+  let p =
+    (* Rebuild the placement used by small_sta. *)
+    let _, nl, _, _ = Lazy.force small_sta in
+    let fp = Pvtol_place.Floorplan.create ~cell_area:(Netlist.area nl) () in
+    Pvtol_place.Placer.place nl fp
+  in
+  let ct = CT.synthesize p ~flops in
+  Alcotest.(check int) "every flop served" (Array.length flops)
+    (List.length ct.CT.insertion_delay);
+  Alcotest.(check bool) "has buffers" true (ct.CT.n_buffers > 0);
+  Alcotest.(check bool) "positive wirelength" true (ct.CT.wirelength > 0.0);
+  Alcotest.(check bool) "skew nonnegative" true (ct.CT.skew >= 0.0);
+  List.iter
+    (fun (_, d) -> Alcotest.(check bool) "insertion delay positive" true (d > 0.0))
+    ct.CT.insertion_delay;
+  (* skew_of is normalized to min 0. *)
+  let f = CT.skew_of ct in
+  let mn =
+    Array.fold_left (fun a cid -> Float.min a (f cid)) infinity flops
+  in
+  Alcotest.(check bool) "normalized offsets" true (Float.abs mn < 1e-12);
+  (* Deterministic. *)
+  let ct2 = CT.synthesize p ~flops in
+  Alcotest.(check bool) "deterministic" true
+    (ct.CT.skew = ct2.CT.skew && ct.CT.n_buffers = ct2.CT.n_buffers);
+  (* The skew is small relative to the cycle: the ideal-clock
+     assumption of the main flow holds. *)
+  let r = Sta.analyze sta ~delays:(Sta.nominal_delays sta) in
+  Alcotest.(check bool) "skew below 10% of clock" true
+    (ct.CT.skew < 0.1 *. r.Sta.worst)
+
+let test_wireload_model () =
+  let nl = chain_netlist 1 in
+  let n0 = Sta.wireload_model nl 0 in
+  Alcotest.(check bool) "wireload positive" true (n0 > 0.0)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "timing",
+    [
+      Alcotest.test_case "sta chain arithmetic" `Quick test_sta_chain_arithmetic;
+      Alcotest.test_case "sta max path" `Quick test_sta_uses_max_path;
+      qcheck test_delay_monotonicity;
+      Alcotest.test_case "required consistency" `Quick test_required_consistency;
+      Alcotest.test_case "stage worst bounds global" `Quick test_stage_worst_bounds_global;
+      Alcotest.test_case "vdd scaling speeds up" `Quick test_vdd_scaling_speeds_up;
+      Alcotest.test_case "sdf roundtrip" `Quick test_sdf_roundtrip;
+      Alcotest.test_case "sdf rewrite" `Quick test_sdf_rewrite;
+      Alcotest.test_case "sdf errors" `Quick test_sdf_errors;
+      Alcotest.test_case "recover reduces area" `Quick test_recover_reduces_area_meets_clock;
+      Alcotest.test_case "fit meets stage budgets" `Quick test_fit_meets_stage_budgets;
+      Alcotest.test_case "close_timing repairs" `Quick test_close_timing_fixes_violation;
+      Alcotest.test_case "worst endpoints sorted" `Quick test_worst_endpoints_sorted;
+      Alcotest.test_case "uniform skew invisible" `Quick test_uniform_skew_is_invisible;
+      Alcotest.test_case "capture skew relaxes" `Quick test_capture_skew_relaxes_endpoint;
+      Alcotest.test_case "clock tree" `Quick test_clock_tree;
+      Alcotest.test_case "wireload model" `Quick test_wireload_model;
+    ] )

@@ -1,0 +1,255 @@
+(* Tests for Pvtol_util: PRNG, statistics, special functions, fitting,
+   histograms, geometry, tables. *)
+
+module Srng = Pvtol_util.Srng
+module Stats = Pvtol_util.Stats
+module Specfun = Pvtol_util.Specfun
+module Fit = Pvtol_util.Fit
+module Histo = Pvtol_util.Histo
+module Geom = Pvtol_util.Geom
+module Table = Pvtol_util.Table
+
+let approx ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let check_approx ?(eps = 1e-6) msg expected actual =
+  if not (approx ~eps expected actual) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+(* --- Srng --- *)
+
+let test_srng_deterministic () =
+  let a = Srng.create 42 and b = Srng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Srng.bits64 a) (Srng.bits64 b)
+  done
+
+let test_srng_copy () =
+  let a = Srng.create 7 in
+  ignore (Srng.bits64 a);
+  let b = Srng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Srng.bits64 a) (Srng.bits64 b)
+
+let test_srng_uniform_range () =
+  let g = Srng.create 1 in
+  for _ = 1 to 10_000 do
+    let u = Srng.uniform g in
+    if u < 0.0 || u >= 1.0 then Alcotest.failf "uniform out of range: %f" u
+  done
+
+let test_srng_int_range () =
+  let g = Srng.create 2 in
+  let seen = Array.make 7 0 in
+  for _ = 1 to 7_000 do
+    let v = Srng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of range: %d" v;
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iteri
+    (fun i n -> if n < 700 then Alcotest.failf "bucket %d suspiciously rare: %d" i n)
+    seen
+
+let test_srng_gaussian_moments () =
+  let g = Srng.create 3 in
+  let acc = Stats.Running.create () in
+  for _ = 1 to 50_000 do
+    Stats.Running.add acc (Srng.gaussian g)
+  done;
+  check_approx ~eps:0.03 "gaussian mean" 0.0 (Stats.Running.mean acc);
+  check_approx ~eps:0.03 "gaussian stddev" 1.0 (Stats.Running.stddev acc)
+
+let test_srng_split_diverges () =
+  let a = Srng.create 11 in
+  let b = Srng.split a in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Srng.bits64 a = Srng.bits64 b then incr equal
+  done;
+  Alcotest.(check int) "split streams differ" 0 !equal
+
+let test_srng_shuffle_permutation () =
+  let g = Srng.create 5 in
+  let a = Array.init 100 (fun i -> i) in
+  Srng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 100 (fun i -> i)) sorted
+
+(* --- Stats --- *)
+
+let test_stats_known () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  let s = Stats.summarize xs in
+  check_approx "mean" 5.0 s.Stats.mean;
+  (* Unbiased sample variance of this classic set is 32/7. *)
+  check_approx "stddev" (sqrt (32.0 /. 7.0)) s.Stats.stddev;
+  check_approx "min" 2.0 s.Stats.min;
+  check_approx "max" 9.0 s.Stats.max
+
+let test_stats_welford_matches_direct () =
+  let g = Srng.create 9 in
+  let xs = Array.init 1000 (fun _ -> Srng.uniform g *. 100.0) in
+  let s = Stats.summarize xs in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. 1000.0 in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. 999.0
+  in
+  check_approx ~eps:1e-9 "welford mean" mean s.Stats.mean;
+  check_approx ~eps:1e-7 "welford stddev" (sqrt var) s.Stats.stddev
+
+let test_stats_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_approx "median" 3.0 (Stats.quantile xs 0.5);
+  check_approx "min quantile" 1.0 (Stats.quantile xs 0.0);
+  check_approx "max quantile" 5.0 (Stats.quantile xs 1.0);
+  check_approx "interpolated" 1.5 (Stats.quantile xs 0.125)
+
+let test_three_sigma () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  check_approx "3 sigma" (s.Stats.mean +. (3.0 *. s.Stats.stddev)) (Stats.three_sigma s)
+
+(* --- Specfun --- *)
+
+let test_erf_values () =
+  check_approx ~eps:1e-6 "erf 0" 0.0 (Specfun.erf 0.0);
+  check_approx ~eps:1e-6 "erf 1" 0.8427007929 (Specfun.erf 1.0);
+  check_approx ~eps:1e-6 "erf -1" (-0.8427007929) (Specfun.erf (-1.0));
+  check_approx ~eps:1e-6 "erf 2" 0.9953222650 (Specfun.erf 2.0)
+
+let test_normal_cdf () =
+  check_approx ~eps:1e-7 "cdf at mean" 0.5 (Specfun.normal_cdf ~mu:3.0 ~sigma:2.0 3.0);
+  check_approx ~eps:1e-6 "cdf +1 sigma" 0.8413447461
+    (Specfun.normal_cdf ~mu:0.0 ~sigma:1.0 1.0);
+  check_approx ~eps:1e-6 "cdf 3 sigma" 0.9986501020
+    (Specfun.normal_cdf ~mu:0.0 ~sigma:1.0 3.0)
+
+let test_normal_quantile_inverts_cdf () =
+  List.iter
+    (fun p ->
+      let x = Specfun.normal_quantile ~mu:1.0 ~sigma:2.5 p in
+      check_approx ~eps:1e-6 "quantile inverts cdf" p
+        (Specfun.normal_cdf ~mu:1.0 ~sigma:2.5 x))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_chi2 () =
+  (* Known critical values at alpha = 0.05. *)
+  check_approx ~eps:0.01 "chi2 crit dof 1" 3.841 (Specfun.chi2_critical ~dof:1 ~alpha:0.05);
+  check_approx ~eps:0.01 "chi2 crit dof 5" 11.070 (Specfun.chi2_critical ~dof:5 ~alpha:0.05);
+  check_approx ~eps:0.01 "chi2 crit dof 10" 18.307
+    (Specfun.chi2_critical ~dof:10 ~alpha:0.05);
+  check_approx ~eps:1e-6 "chi2 cdf at 0" 0.0 (Specfun.chi2_cdf ~dof:3 0.0);
+  (* chi2 with dof 2 is Exp(1/2): CDF(x) = 1 - exp(-x/2). *)
+  check_approx ~eps:1e-7 "chi2 dof 2 closed form" (1.0 -. exp (-1.5))
+    (Specfun.chi2_cdf ~dof:2 3.0)
+
+let test_gamma_identities () =
+  (* ln Gamma(n) = ln (n-1)! *)
+  check_approx ~eps:1e-9 "lngamma 5" (log 24.0) (Specfun.ln_gamma 5.0);
+  check_approx ~eps:1e-9 "lngamma 1" 0.0 (Specfun.ln_gamma 1.0);
+  check_approx ~eps:1e-7 "P + Q = 1" 1.0
+    (Specfun.gamma_p 2.5 1.7 +. Specfun.gamma_q 2.5 1.7)
+
+(* --- Fit --- *)
+
+let test_fit_gaussian_accepted () =
+  let g = Srng.create 21 in
+  let xs = Array.init 2000 (fun _ -> Srng.gaussian_mu_sigma g ~mu:10.0 ~sigma:2.0) in
+  let normal, gof = Fit.fit_and_test xs in
+  check_approx ~eps:0.15 "fit mu" 10.0 normal.Fit.mu;
+  check_approx ~eps:0.15 "fit sigma" 2.0 normal.Fit.sigma;
+  Alcotest.(check bool) "gaussian sample accepted" true gof.Fit.accepted
+
+let test_fit_uniform_rejected () =
+  let g = Srng.create 22 in
+  let xs = Array.init 4000 (fun _ -> Srng.uniform g) in
+  let _, gof = Fit.fit_and_test xs in
+  Alcotest.(check bool) "uniform sample rejected as normal" false gof.Fit.accepted
+
+(* --- Histo --- *)
+
+let test_histo_counts () =
+  let h = Histo.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histo.add h) [ 0.5; 1.5; 1.6; 9.9; -5.0; 15.0 ];
+  Alcotest.(check int) "total" 6 (Histo.count h);
+  Alcotest.(check int) "bin 0 gets clamped low too" 2 (Histo.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histo.bin_count h 1);
+  Alcotest.(check int) "last bin gets clamped high too" 2 (Histo.bin_count h 9)
+
+let test_histo_density_integrates_to_one () =
+  let g = Srng.create 30 in
+  let xs = Array.init 500 (fun _ -> Srng.gaussian g) in
+  let h = Histo.of_samples ~bins:16 xs in
+  let integral = ref 0.0 in
+  for i = 0 to Histo.bins h - 1 do
+    integral := !integral +. (Histo.density h i *. Histo.bin_width h)
+  done;
+  check_approx ~eps:1e-9 "density integrates to 1" 1.0 !integral
+
+(* --- Geom --- *)
+
+let test_geom_basics () =
+  let r = Geom.rect ~llx:0.0 ~lly:0.0 ~urx:4.0 ~ury:2.0 in
+  check_approx "area" 8.0 (Geom.area r);
+  Alcotest.(check bool) "contains inside" true (Geom.contains r (Geom.point 1.0 1.0));
+  Alcotest.(check bool) "lower edge closed" true (Geom.contains r (Geom.point 0.0 0.0));
+  Alcotest.(check bool) "upper edge open" false (Geom.contains r (Geom.point 4.0 1.0));
+  let r2 = Geom.rect ~llx:3.0 ~lly:1.0 ~urx:5.0 ~ury:3.0 in
+  Alcotest.(check bool) "intersects" true (Geom.intersects r r2);
+  (match Geom.inter r r2 with
+  | Some i -> check_approx "intersection area" 1.0 (Geom.area i)
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "subsumes" true (Geom.subsumes (Geom.expand r 1.0) r)
+
+let test_geom_partition_property =
+  QCheck.Test.make ~name:"half-split assigns each point to exactly one side"
+    ~count:200
+    QCheck.(triple (float_range 0.0 10.0) (float_range 0.0 10.0) (float_range 0.1 9.9))
+    (fun (x, y, cut) ->
+      let left = Geom.rect ~llx:0.0 ~lly:0.0 ~urx:cut ~ury:10.0 in
+      let right = Geom.rect ~llx:cut ~lly:0.0 ~urx:10.0 ~ury:10.0 in
+      let p = Geom.point x y in
+      let in_left = Geom.contains left p and in_right = Geom.contains right p in
+      (* Inside the union, membership is exclusive. *)
+      (not (in_left && in_right)) && (in_left || in_right))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "mentions header" true
+    (String.length out > 0 && String.sub out 1 4 = "name");
+  Alcotest.(check bool) "contains separator" true (String.contains out '+');
+  Alcotest.(check string) "fcell" "3.142" (Table.fcell ~decimals:3 3.14159);
+  Alcotest.(check string) "pcell" "8.35%" (Table.pcell 0.0835)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "srng deterministic" `Quick test_srng_deterministic;
+      Alcotest.test_case "srng copy" `Quick test_srng_copy;
+      Alcotest.test_case "srng uniform range" `Quick test_srng_uniform_range;
+      Alcotest.test_case "srng int range" `Quick test_srng_int_range;
+      Alcotest.test_case "srng gaussian moments" `Quick test_srng_gaussian_moments;
+      Alcotest.test_case "srng split diverges" `Quick test_srng_split_diverges;
+      Alcotest.test_case "srng shuffle permutation" `Quick test_srng_shuffle_permutation;
+      Alcotest.test_case "stats known values" `Quick test_stats_known;
+      Alcotest.test_case "stats welford" `Quick test_stats_welford_matches_direct;
+      Alcotest.test_case "stats quantile" `Quick test_stats_quantile;
+      Alcotest.test_case "stats three sigma" `Quick test_three_sigma;
+      Alcotest.test_case "erf values" `Quick test_erf_values;
+      Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+      Alcotest.test_case "quantile inverts cdf" `Quick test_normal_quantile_inverts_cdf;
+      Alcotest.test_case "chi2" `Quick test_chi2;
+      Alcotest.test_case "gamma identities" `Quick test_gamma_identities;
+      Alcotest.test_case "fit gaussian accepted" `Quick test_fit_gaussian_accepted;
+      Alcotest.test_case "fit uniform rejected" `Quick test_fit_uniform_rejected;
+      Alcotest.test_case "histo counts" `Quick test_histo_counts;
+      Alcotest.test_case "histo density" `Quick test_histo_density_integrates_to_one;
+      Alcotest.test_case "geom basics" `Quick test_geom_basics;
+      qcheck test_geom_partition_property;
+      Alcotest.test_case "table render" `Quick test_table_render;
+    ] )

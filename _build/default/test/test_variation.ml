@@ -1,0 +1,141 @@
+(* Tests for the process-variation model: field polynomial, positions,
+   per-gate sampling. *)
+
+module Field = Pvtol_variation.Field
+module Position = Pvtol_variation.Position
+module Sampler = Pvtol_variation.Sampler
+module Process = Pvtol_stdcell.Process
+module Srng = Pvtol_util.Srng
+module Stats = Pvtol_util.Stats
+module Netlist = Pvtol_netlist.Netlist
+
+let field = Field.default
+
+let test_calibration () =
+  (* Over the chip-sized calibration region, |deviation| peaks at 5.5%. *)
+  let worst = ref 0.0 in
+  for i = 0 to 100 do
+    for j = 0 to 100 do
+      let x = float_of_int i *. 14.0 /. 100.0 in
+      let y = float_of_int j *. 14.0 /. 100.0 in
+      worst := Float.max !worst (Float.abs (Field.deviation_frac field ~x_mm:x ~y_mm:y))
+    done
+  done;
+  Alcotest.(check bool) "max deviation ~ 5.5%" true
+    (!worst > 0.054 && !worst < 0.0555)
+
+let test_slow_corner_at_origin () =
+  let at f = Field.deviation_frac field ~x_mm:(f *. 14.0) ~y_mm:(f *. 14.0) in
+  Alcotest.(check bool) "origin is the slow corner" true (at 0.0 > 0.05);
+  (* Deviation decreases monotonically along the diagonal. *)
+  let prev = ref infinity in
+  List.iter
+    (fun f ->
+      let d = at f in
+      Alcotest.(check bool) "monotone along diagonal" true (d < !prev);
+      prev := d)
+    [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ]
+
+let test_field_clamped () =
+  let inside = Field.systematic_nm field ~x_mm:0.0 ~y_mm:0.0 in
+  let outside = Field.systematic_nm field ~x_mm:(-5.0) ~y_mm:(-5.0) in
+  Alcotest.(check bool) "clamped outside field" true
+    (Float.abs (inside -. outside) < 1e-9)
+
+let test_render_map () =
+  let map = Field.render_map field ~chip_mm:14.0 in
+  Alcotest.(check bool) "renders" true (String.length map > 200)
+
+let test_positions () =
+  let a = Position.point_a in
+  Alcotest.(check string) "A label" "A" a.Position.label;
+  let x, y = Position.to_field a ~x_um:500.0 ~y_um:250.0 in
+  Alcotest.(check bool) "um to mm" true
+    (Float.abs (x -. 0.5) < 1e-9 && Float.abs (y -. 0.25) < 1e-9);
+  let mid = Position.at_fraction 0.5 in
+  Alcotest.(check bool) "fraction position" true
+    (Float.abs (mid.Position.origin_x_mm -. 7.0) < 1e-9)
+
+let placed_small =
+  lazy
+    (let v = Pvtol_vex.Vex_core.build Pvtol_vex.Vex_core.small_config in
+     let nl = v.Pvtol_vex.Vex_core.netlist in
+     let fp = Pvtol_place.Floorplan.create ~cell_area:(Netlist.area nl) () in
+     Pvtol_place.Placer.place nl fp)
+
+let test_systematic_per_position () =
+  let p = Lazy.force placed_small in
+  let sampler = Sampler.create () in
+  let at_a = Sampler.systematic_lgates sampler p Position.point_a in
+  let at_d = Sampler.systematic_lgates sampler p Position.point_d in
+  (* Every cell is slower (longer Lgate) at A than at D. *)
+  Array.iteri
+    (fun i la ->
+      Alcotest.(check bool) "A longer than D" true (la > at_d.(i)))
+    at_a;
+  let nominal = sampler.Sampler.process.Process.l_nominal_nm in
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "A deviation within budget" true
+        (l <= nominal *. 1.056 && l >= nominal))
+    at_a
+
+let test_sampling_moments () =
+  let p = Lazy.force placed_small in
+  let sampler = Sampler.create () in
+  let systematic = Sampler.systematic_lgates sampler p Position.point_b in
+  let rng = Srng.create 31 in
+  let out = Array.make (Array.length systematic) 0.0 in
+  let acc_err = Stats.Running.create () in
+  for _ = 1 to 40 do
+    Sampler.sample_lgates sampler ~systematic rng out;
+    Array.iteri (fun i v -> Stats.Running.add acc_err (v -. systematic.(i))) out
+  done;
+  (* Residuals are ~N(0, sigma_rnd). *)
+  let mean = Stats.Running.mean acc_err and sd = Stats.Running.stddev acc_err in
+  Alcotest.(check bool) "random mean ~ 0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "random sigma matches" true
+    (Float.abs (sd -. sampler.Sampler.sigma_rnd_nm) < 0.02)
+
+let test_delay_scale_consistency () =
+  let sampler = Sampler.create () in
+  let s = Sampler.delay_scale sampler ~lgate_nm:67.0 ~vdd:1.1 in
+  let expected = Process.delay_scale sampler.Sampler.process ~vdd:1.1 ~lgate_nm:67.0 in
+  Alcotest.(check bool) "matches process model" true (Float.abs (s -. expected) < 1e-12)
+
+let test_scale_delays_vectorized () =
+  let sampler = Sampler.create () in
+  let base = [| 1.0; 2.0; 3.0 |] in
+  let lgates = [| 65.0; 66.0; 64.0 |] in
+  let out = Array.make 3 0.0 in
+  Sampler.scale_delays sampler ~base ~lgates ~vdd:(fun _ -> 1.0) ~out;
+  Array.iteri
+    (fun i b ->
+      let expected = b *. Sampler.delay_scale sampler ~lgate_nm:lgates.(i) ~vdd:1.0 in
+      Alcotest.(check bool) "elementwise" true (Float.abs (out.(i) -. expected) < 1e-12))
+    base
+
+let test_custom_budget () =
+  let f = Field.create ~l_nominal_nm:65.0 ~max_dev_frac:0.02 () in
+  let lo, hi = Field.extremes f in
+  ignore lo;
+  Alcotest.(check bool) "custom budget respected on chip region" true
+    (hi <= 65.0 *. 1.021);
+  let s = Sampler.create ~three_sigma_rnd_frac:0.03 () in
+  Alcotest.(check bool) "sigma from 3-sigma budget" true
+    (Float.abs (s.Sampler.sigma_rnd_nm -. (0.01 *. 65.0)) < 1e-9)
+
+let suite =
+  ( "variation",
+    [
+      Alcotest.test_case "field calibration" `Quick test_calibration;
+      Alcotest.test_case "slow corner at origin" `Quick test_slow_corner_at_origin;
+      Alcotest.test_case "field clamped" `Quick test_field_clamped;
+      Alcotest.test_case "render map" `Quick test_render_map;
+      Alcotest.test_case "positions" `Quick test_positions;
+      Alcotest.test_case "systematic per position" `Quick test_systematic_per_position;
+      Alcotest.test_case "sampling moments" `Quick test_sampling_moments;
+      Alcotest.test_case "delay scale consistency" `Quick test_delay_scale_consistency;
+      Alcotest.test_case "scale_delays vectorized" `Quick test_scale_delays_vectorized;
+      Alcotest.test_case "custom budget" `Quick test_custom_budget;
+    ] )

@@ -1,0 +1,219 @@
+(* Tests for the VLIW ISA, assembler and instruction-set simulator. *)
+
+module Isa = Pvtol_vexsim.Isa
+module Asm = Pvtol_vexsim.Asm
+module Sim = Pvtol_vexsim.Sim
+module Fir = Pvtol_vexsim.Fir
+
+(* --- encoding --- *)
+
+let op_gen =
+  QCheck.Gen.(
+    let* opn = int_bound 15 in
+    let opcode = Option.get (Isa.opcode_of_number opn) in
+    let* rd = int_bound 63 in
+    let* rs1 = int_bound 63 in
+    let* rs2 = int_bound 63 in
+    let* imm = int_bound 255 in
+    return { Isa.opcode; rd; rs1; rs2; imm })
+
+let prop_encode_roundtrip =
+  QCheck.Test.make ~name:"op encode/decode roundtrip" ~count:500
+    (QCheck.make op_gen)
+    (fun op -> Isa.decode_op (Isa.encode_op op) = op)
+
+let test_opcode_names () =
+  for n = 0 to 15 do
+    match Isa.opcode_of_number n with
+    | Some op ->
+      Alcotest.(check bool) "name roundtrip" true
+        (Isa.opcode_of_name (Isa.opcode_name op) = Some op);
+      Alcotest.(check int) "number roundtrip" n (Isa.opcode_number op)
+    | None -> Alcotest.failf "opcode %d missing" n
+  done
+
+(* --- assembler --- *)
+
+let test_asm_basic () =
+  let prog = Asm.assemble "add r1, r2, r3 ; movi r4, -5 ; ld r6, 3(r7) ; nop" in
+  Alcotest.(check int) "one bundle" 1 (Array.length prog);
+  let b = prog.(0) in
+  Alcotest.(check bool) "slot0 add" true
+    (b.(0) = { Isa.opcode = Isa.Add; rd = 1; rs1 = 2; rs2 = 3; imm = 0 });
+  Alcotest.(check bool) "slot1 movi sign" true
+    (b.(1).Isa.opcode = Isa.Movi && b.(1).Isa.imm = 0xfb);
+  Alcotest.(check bool) "slot2 ld disp" true
+    (b.(2) = { Isa.opcode = Isa.Ld; rd = 6; rs1 = 7; rs2 = 0; imm = 3 });
+  Alcotest.(check bool) "slot3 filled with nop" true (b.(3) = Isa.nop)
+
+let test_asm_labels_and_comments () =
+  let prog =
+    Asm.assemble
+      "# a comment line\n\
+       start: movi r1, 2 ;; trailing comment\n\
+       loop: sub r1, r1, r2\n\
+       brnz r1, loop\n"
+  in
+  Alcotest.(check int) "three bundles" 3 (Array.length prog);
+  Alcotest.(check int) "branch targets bundle 1" 1 prog.(2).(0).Isa.imm
+
+let test_asm_errors () =
+  let expect_error src =
+    try
+      ignore (Asm.assemble src);
+      Alcotest.failf "expected assembly error for %S" src
+    with Asm.Error _ -> ()
+  in
+  expect_error "add r1, r2";
+  expect_error "add r99, r1, r2";
+  expect_error "frob r1, r2, r3";
+  expect_error "brnz r1, nowhere";
+  expect_error "nop ; brnz r1, somewhere\nsomewhere: nop";
+  expect_error "nop ; nop ; nop ; nop ; nop"
+
+let test_disassemble_roundtrip () =
+  let src = Fir.program ~taps:8 ~samples:16 in
+  let prog = Asm.assemble src in
+  let prog2 = Asm.assemble (Asm.disassemble prog) in
+  Alcotest.(check bool) "disassemble/assemble fixpoint" true (prog = prog2)
+
+(* --- simulator semantics --- *)
+
+let run_prog ?setup src =
+  let t = Sim.create (Asm.assemble src) in
+  (match setup with Some f -> f t | None -> ());
+  let stats = Sim.run t in
+  (t, stats)
+
+let test_sim_arith () =
+  let t, _ =
+    run_prog
+      "movi r1, 7 ; movi r2, 3 ; nop ; nop\n\
+       add r3, r1, r2 ; sub r4, r1, r2 ; and r5, r1, r2 ; or r6, r1, r2\n\
+       xor r7, r1, r2 ; mul r8, r1, r2 ; cmplt r9, r2, r1 ; cmpeq r10, r1, r1"
+  in
+  List.iter
+    (fun (r, v) -> Alcotest.(check int) (Printf.sprintf "r%d" r) v (Sim.get_reg t r))
+    [ (3, 10); (4, 4); (5, 3); (6, 7); (7, 4); (8, 21); (9, 1); (10, 1) ]
+
+let test_sim_vliw_read_before_write () =
+  (* Both slots read the OLD r1 even though slot 0 writes it. *)
+  let t, _ =
+    run_prog ~setup:(fun t -> Sim.set_reg t 1 5)
+      "movi r2, 9 ; add r1, r1, r1 ; nop ; nop\n\
+       add r1, r1, r2 ; add r3, r1, r1 ; nop ; nop"
+  in
+  Alcotest.(check int) "slot1 read old r1 in bundle 2" 20 (Sim.get_reg t 3);
+  Alcotest.(check int) "r1 = old r1 + r2" 19 (Sim.get_reg t 1)
+
+let test_sim_memory () =
+  let t, stats =
+    run_prog
+      "movi r1, 40 ; movi r2, 17 ; nop ; nop\n\
+       st r2, 2(r1) ; nop ; nop ; nop\n\
+       ld r3, 2(r1) ; nop ; nop ; nop"
+  in
+  Alcotest.(check int) "load after store" 17 (Sim.get_reg t 3);
+  Alcotest.(check int) "mem value" 17 (Sim.load t 42);
+  Alcotest.(check int) "mem ops counted" 2 stats.Sim.mem_ops
+
+let test_sim_branch () =
+  let _, stats =
+    run_prog
+      "movi r1, 3 ; movi r2, 1 ; nop ; nop\n\
+       loop: sub r1, r1, r2\n\
+       brnz r1, loop"
+  in
+  Alcotest.(check int) "branch taken twice" 2 stats.Sim.branches_taken;
+  (* 1 init + 3 iterations x 2 bundles. *)
+  Alcotest.(check int) "cycle count" 7 stats.Sim.cycles
+
+let test_sim_wrap32 () =
+  let t, _ =
+    run_prog
+      "movi r1, -1 ; movi r2, 1 ; nop ; nop\n\
+       shl r3, r2, r1 ; add r4, r1, r2 ; nop ; nop"
+  in
+  (* r1 = 0xFFFFFFFF; shl by r1 land 31 = 31. *)
+  Alcotest.(check int) "shl wraps" 0x80000000 (Sim.get_reg t 3);
+  Alcotest.(check int) "add wraps to 0" 0 (Sim.get_reg t 4)
+
+let test_sim_max_cycles () =
+  let t = Sim.create (Asm.assemble "loop: movi r1, 1\nbrnz r1, loop") in
+  let stats = Sim.run ~max_cycles:50 t in
+  Alcotest.(check int) "bounded" 50 stats.Sim.cycles
+
+let test_trace_matches_cycles () =
+  let t = Sim.create (Asm.assemble "movi r1, 1 ; nop ; nop ; nop\nnop") in
+  let stats = Sim.run t in
+  Alcotest.(check int) "trace length = cycles" stats.Sim.cycles
+    (List.length (Sim.trace t))
+
+(* --- FIR benchmark --- *)
+
+let test_fir_correct () =
+  let r = Fir.run () in
+  Alcotest.(check bool) "FIR matches reference convolution" true (Fir.check r);
+  Alcotest.(check bool) "uses the multiplier" true (r.Fir.stats.Sim.mul_ops > 0);
+  Alcotest.(check bool) "uses memory" true (r.Fir.stats.Sim.mem_ops > 0)
+
+let test_fir_sizes () =
+  List.iter
+    (fun (taps, samples) ->
+      let r = Fir.run ~taps ~samples ~seed:9 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "FIR %dx%d" taps samples)
+        true (Fir.check r))
+    [ (4, 8); (8, 32); (24, 100) ]
+
+let test_workloads_correct () =
+  List.iter
+    (fun (w : Pvtol_vexsim.Workloads.t) ->
+      Alcotest.(check bool) (w.Pvtol_vexsim.Workloads.name ^ " correct") true
+        w.Pvtol_vexsim.Workloads.correct;
+      Alcotest.(check bool) "ran some cycles" true
+        (w.Pvtol_vexsim.Workloads.stats.Sim.cycles > 50);
+      Alcotest.(check int) "trace covers the run"
+        w.Pvtol_vexsim.Workloads.stats.Sim.cycles
+        (List.length w.Pvtol_vexsim.Workloads.trace))
+    (Pvtol_vexsim.Workloads.all ())
+
+let test_workload_mix_profiles () =
+  let find name =
+    List.find
+      (fun (w : Pvtol_vexsim.Workloads.t) -> w.Pvtol_vexsim.Workloads.name = name)
+      (Pvtol_vexsim.Workloads.all ())
+  in
+  (* The suite spans distinct unit mixes by design. *)
+  Alcotest.(check bool) "memcpy has no multiplies" true
+    ((find "memcpy").stats.Sim.mul_ops = 0);
+  Alcotest.(check bool) "vector-max has no multiplies" true
+    ((find "vector-max").stats.Sim.mul_ops = 0);
+  Alcotest.(check bool) "iir is multiplier-heavy" true
+    ((find "iir-biquad").stats.Sim.mul_ops > 100);
+  Alcotest.(check bool) "vector-max branches a lot" true
+    ((find "vector-max").stats.Sim.branches_taken > 50)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "vexsim",
+    [
+      qcheck prop_encode_roundtrip;
+      Alcotest.test_case "opcode names" `Quick test_opcode_names;
+      Alcotest.test_case "asm basic" `Quick test_asm_basic;
+      Alcotest.test_case "asm labels/comments" `Quick test_asm_labels_and_comments;
+      Alcotest.test_case "asm errors" `Quick test_asm_errors;
+      Alcotest.test_case "disassemble roundtrip" `Quick test_disassemble_roundtrip;
+      Alcotest.test_case "sim arithmetic" `Quick test_sim_arith;
+      Alcotest.test_case "sim read-before-write" `Quick test_sim_vliw_read_before_write;
+      Alcotest.test_case "sim memory" `Quick test_sim_memory;
+      Alcotest.test_case "sim branch" `Quick test_sim_branch;
+      Alcotest.test_case "sim 32-bit wrap" `Quick test_sim_wrap32;
+      Alcotest.test_case "sim max cycles" `Quick test_sim_max_cycles;
+      Alcotest.test_case "trace length" `Quick test_trace_matches_cycles;
+      Alcotest.test_case "fir correct" `Quick test_fir_correct;
+      Alcotest.test_case "fir sizes" `Quick test_fir_sizes;
+      Alcotest.test_case "workloads correct" `Quick test_workloads_correct;
+      Alcotest.test_case "workload mix profiles" `Quick test_workload_mix_profiles;
+    ] )
