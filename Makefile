@@ -1,0 +1,33 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick fmt-check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune build && dune runtest
+
+# Full benchmark/reproduction suite (slow: full-size design flow).
+bench:
+	dune exec bench/main.exe -- kernels --json
+
+# CI smoke test for the parallel SSTA path: scaled-down design, kernel
+# micro-benchmarks, serial-vs-parallel Monte-Carlo throughput, and a
+# fresh BENCH_ssta.json in the working directory.
+bench-quick:
+	dune exec bench/main.exe -- --quick kernels --json
+
+# `dune build @fmt` needs the ocamlformat binary; skip gracefully where
+# it isn't installed (see .ocamlformat).
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+clean:
+	dune clean

@@ -5,16 +5,25 @@
      bench/main.exe <exhibit>        -- one of: fig2 table1 fig3 scenarios
                                         razor fig4 table2 fig5 fig6 energy
                                         validate ablation clocktree crosscheck
-                                        alternatives powergrid workloads
-                                        postsilicon
-     bench/main.exe kernels         -- Bechamel micro-benchmarks only
+                                        alternatives routing powergrid
+                                        workloads postsilicon
+     bench/main.exe kernels         -- Bechamel micro-benchmarks + the
+                                        serial-vs-parallel Monte-Carlo
+                                        throughput report
+     bench/main.exe kernels --json  -- also write BENCH_ssta.json (perf
+                                        trajectory for future changes)
      bench/main.exe --quick ...     -- scaled-down design (fast smoke run)
 
    One Bechamel Test.make per table/figure kernel: the measured loop is
    the computational core that regenerates that exhibit (field eval for
    Fig. 2, an STA pass for Table 1's timing, a Monte-Carlo sample for
    Fig. 3 / §4.4, a corner compensation check for Fig. 4, crossing
-   analysis for Table 2, and a power pass for Figs. 5-6). *)
+   analysis for Table 2, and a power pass for Figs. 5-6).  Kernel lines
+   are printed sorted by name so runs diff cleanly.  The Monte-Carlo
+   engine is additionally timed end-to-end with a 1-domain pool and with
+   the shared pool (PVTOL_DOMAINS / Domain.recommended_domain_count) to
+   report the parallel speedup; both runs produce bit-identical
+   samples. *)
 
 module Experiments = Pvtol_core.Experiments
 module Flow = Pvtol_core.Flow
@@ -28,6 +37,8 @@ module Position = Pvtol_variation.Position
 module Power = Pvtol_power.Power
 module Gatesim = Pvtol_power.Gatesim
 module Srng = Pvtol_util.Srng
+module Pool = Pvtol_util.Pool
+module MC = Pvtol_ssta.Monte_carlo
 
 let ctx = ref None
 
@@ -42,9 +53,54 @@ let context ~quick () =
     c
 
 (* ------------------------------------------------------------------ *)
+(* Monte-Carlo throughput: serial vs parallel                           *)
+
+type mc_report = {
+  mc_samples : int;
+  domains : int;
+  serial_sps : float;    (* samples / second, 1-domain pool *)
+  parallel_sps : float;  (* samples / second, shared pool *)
+}
+
+let mc_speedup r = r.parallel_sps /. r.serial_sps
+
+let mc_throughput ~quick () =
+  let c = context ~quick () in
+  let t = c.Experiments.flow in
+  let samples = t.Flow.config.Flow.mc_samples in
+  let seed = t.Flow.config.Flow.mc_seed in
+  let time_run ~pool =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      MC.run
+        ~config:{ MC.samples; seed }
+        ~pool ~sampler:t.Flow.sampler ~sta:t.Flow.sta ~placement:t.Flow.placement
+        ~position:Position.point_b ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (float_of_int samples /. dt, r)
+  in
+  let serial_pool = Pool.create ~domains:1 () in
+  let serial_sps, r1 = time_run ~pool:serial_pool in
+  Pool.shutdown serial_pool;
+  let pool = Pool.shared () in
+  let parallel_sps, r2 = time_run ~pool in
+  if r1.MC.worst_samples <> r2.MC.worst_samples then
+    failwith "mc-parallel: samples differ from the serial engine";
+  { mc_samples = samples; domains = Pool.domains pool; serial_sps; parallel_sps }
+
+let print_mc_report r =
+  Printf.printf
+    "\nMonte-Carlo SSTA throughput (%d samples, bit-identical results):\n\
+    \  mc-serial    (1 domain)    %10.1f samples/s\n\
+    \  mc-parallel  (%d domains)  %10.1f samples/s\n\
+    \  speedup: %.2fx\n%!"
+    r.mc_samples r.serial_sps r.domains r.parallel_sps (mc_speedup r)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel kernels                                                     *)
 
-let kernels ~quick () =
+let kernel_estimates ~quick () =
   let open Bechamel in
   let open Toolkit in
   let c = context ~quick () in
@@ -57,6 +113,7 @@ let kernels ~quick () =
   let n = Array.length base in
   let lgates = Array.make n 0.0 in
   let delays = Array.make n 0.0 in
+  let ws = Sta.workspace sta in
   let rng = Srng.create 99 in
   let low =
     t.Flow.netlist.Pvtol_netlist.Netlist.lib.Pvtol_stdcell.Cell.process
@@ -80,12 +137,14 @@ let kernels ~quick () =
              ignore !acc));
       Test.make ~name:"table1/sta-pass"
         (Staged.stage (fun () -> ignore (Sta.analyze sta ~delays:base)));
+      Test.make ~name:"table1/sta-pass-into"
+        (Staged.stage (fun () -> Sta.analyze_into sta ws ~delays:base));
       Test.make ~name:"fig3/mc-sample"
         (Staged.stage (fun () ->
              Sampler.sample_lgates sampler ~systematic rng lgates;
              Sampler.scale_delays sampler ~base ~lgates ~vdd:(fun _ -> low)
                ~out:delays;
-             ignore (Sta.analyze sta ~delays)));
+             Sta.analyze_into sta ws ~delays));
       Test.make ~name:"fig4/corner-check"
         (Staged.stage (fun () ->
              for i = 0 to n - 1 do
@@ -120,22 +179,72 @@ let kernels ~quick () =
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
   let instances = [ Instance.monotonic_clock ] in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg instances test in
+        let results =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+            Instance.monotonic_clock raw
+        in
+        Hashtbl.fold
+          (fun name result acc ->
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some (est :: _) -> (name, Some est) :: acc
+            | _ -> (name, None) :: acc)
+          results [])
+      tests
+  in
+  (* Hashtbl.fold order is unspecified: sort by kernel name so the
+     report is stable run to run. *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~file rows mc =
+  let oc = open_out file in
+  output_string oc "{\n  \"kernels_ns_per_run\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+        (if i < n - 1 then "," else ""))
+    rows;
+  output_string oc "  },\n";
+  Printf.fprintf oc
+    "  \"monte_carlo\": {\n\
+    \    \"samples\": %d,\n\
+    \    \"domains\": %d,\n\
+    \    \"serial_samples_per_sec\": %.1f,\n\
+    \    \"parallel_samples_per_sec\": %.1f,\n\
+    \    \"speedup\": %.3f\n\
+    \  }\n}\n"
+    mc.mc_samples mc.domains mc.serial_sps mc.parallel_sps (mc_speedup mc);
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" file
+
+let kernels ~quick ~json () =
+  let rows = kernel_estimates ~quick () in
   Printf.printf "\nKernel micro-benchmarks (Bechamel):\n%!";
   List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let results =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
-          Instance.monotonic_clock raw
-      in
-      Hashtbl.iter
-        (fun name result ->
-          match Bechamel.Analyze.OLS.estimates result with
-          | Some (est :: _) -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
-          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
-        results)
-    tests
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+      | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+    rows;
+  let mc = mc_throughput ~quick () in
+  print_mc_report mc;
+  if json then write_json ~file:"BENCH_ssta.json" rows mc
 
 (* ------------------------------------------------------------------ *)
 
@@ -165,13 +274,14 @@ let exhibits =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "--json") args in
   match args with
   | [] ->
     let c = context ~quick () in
     print_string (Experiments.all c);
-    kernels ~quick ()
-  | [ "kernels" ] -> kernels ~quick ()
+    kernels ~quick ~json ()
+  | [ "kernels" ] -> kernels ~quick ~json ()
   | names ->
     List.iter
       (fun name ->

@@ -798,6 +798,9 @@ let postsilicon_study ctx =
   Buffer.contents buf
 
 let all ctx =
+  (* Warm the Monte-Carlo memo for all four die positions as parallel
+     tasks before the exhibits (fig3, scenarios, razor, ...) read it. *)
+  ignore (ctx.flow.Flow.mc_all ());
   String.concat "\n"
     [
       fig2_lgate_map ();

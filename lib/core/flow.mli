@@ -50,6 +50,9 @@ type t = {
   fir : Pvtol_vexsim.Fir.result;
   activity : Pvtol_power.Gatesim.activity;
   mc : Position.t -> Pvtol_ssta.Monte_carlo.result;  (** memoized *)
+  mc_all : unit -> (Position.t * Pvtol_ssta.Monte_carlo.result) list;
+      (** all named positions, uncached ones evaluated as parallel
+          tasks on the shared domain pool; same memo as [mc] *)
   scenarios : unit -> Pvtol_ssta.Scenario.t list;    (** at A, B, C, D *)
 }
 

@@ -5,6 +5,7 @@ module Position = Pvtol_variation.Position
 module Srng = Pvtol_util.Srng
 module Stats = Pvtol_util.Stats
 module Fit = Pvtol_util.Fit
+module Pool = Pvtol_util.Pool
 
 type config = { samples : int; seed : int }
 
@@ -25,7 +26,38 @@ type result = {
   endpoint_critical_count : (Netlist.cell_id, int) Hashtbl.t;
 }
 
-let run ?(config = default_config) ?vdd ~sampler ~sta ~placement ~position () =
+(* Samples per chunk.  Fixed — never derived from the domain count — so
+   chunk boundaries, and therefore every RNG draw, are identical no
+   matter how many domains execute the fan-out. *)
+let chunk_size = 32
+
+(* The RNG state a serial run would hold when it reaches sample [s0].
+   One SplitMix64 draw per Box-Muller uniform lets us jump there in
+   O(1): [gaussians] normal deviates consume [2 * ceil (gaussians / 2)]
+   raw draws, and an odd count leaves the pair's second half cached.
+   (Box-Muller's u1 = 0 rejection re-draw has probability 2^-53 per
+   pair; we ignore it, as does every practical SplitMix64 jump.)  This
+   makes the chunked engine bit-identical to the legacy serial loop,
+   independent of both chunk size and domain count. *)
+let rng_at_sample ~seed ~gaussians =
+  let g = Srng.create seed in
+  if gaussians land 1 = 0 then Srng.jump g gaussians
+  else begin
+    Srng.jump g (gaussians - 1);
+    (* Draw the pair straddling the chunk boundary; its first half was
+       consumed by the previous chunk, its second is left cached. *)
+    ignore (Srng.gaussian g)
+  end;
+  g
+
+type scratch = {
+  ws : Sta.workspace;
+  lgates : float array;
+  delays : float array;
+}
+
+let run ?(config = default_config) ?vdd ?pool ~sampler ~sta ~placement ~position
+    () =
   let nl = Sta.netlist sta in
   let vdd =
     match vdd with
@@ -35,52 +67,71 @@ let run ?(config = default_config) ?vdd ~sampler ~sta ~placement ~position () =
       fun _ -> low
   in
   let n = Netlist.cell_count nl in
-  let rng = Srng.create config.seed in
   let systematic = Sampler.systematic_lgates sampler placement position in
   let base = Sta.nominal_delays sta in
-  let lgates = Array.make n 0.0 in
-  let delays = Array.make n 0.0 in
-  let stage_samples =
+  (* Endpoint sets are precomputed once: the per-sample loop must not
+     re-filter the flop array (satellite of the parallel rewrite). *)
+  let active_stages =
     List.filter_map
       (fun s ->
-        if Sta.endpoints_of_stage sta s <> [] then
-          Some (s, Array.make config.samples 0.0)
+        let eps = Sta.stage_endpoint_ids sta s in
+        if Array.length eps > 0 then Some (s, eps, Array.make config.samples 0.0)
         else None)
       Stage.all
   in
   let worst_samples = Array.make config.samples 0.0 in
+  let chunks = (config.samples + chunk_size - 1) / chunk_size in
+  let pool = match pool with Some p -> p | None -> Pool.shared () in
+  let init ~worker:_ =
+    { ws = Sta.workspace sta; lgates = Array.make n 0.0; delays = Array.make n 0.0 }
+  in
+  (* Each chunk owns a disjoint slice of every sample array, so workers
+     write without synchronisation; the per-chunk criticality counts
+     are returned and merged in chunk order below. *)
+  let run_chunk st c =
+    let s0 = c * chunk_size in
+    let s1 = min config.samples (s0 + chunk_size) in
+    let rng = rng_at_sample ~seed:config.seed ~gaussians:(s0 * n) in
+    let crit = Array.make n 0 in
+    for k = s0 to s1 - 1 do
+      Sampler.sample_lgates sampler ~systematic rng st.lgates;
+      Sampler.scale_delays sampler ~base ~lgates:st.lgates ~vdd ~out:st.delays;
+      Sta.analyze_into sta st.ws ~delays:st.delays;
+      worst_samples.(k) <- Sta.ws_worst st.ws;
+      List.iter
+        (fun (s, eps, arr) ->
+          match Sta.ws_stage_delay st.ws s with
+          | None -> ()
+          | Some stage_worst ->
+            arr.(k) <- stage_worst;
+            (* Endpoint criticality: flops within 2% of their stage's
+               worst. *)
+            Array.iter
+              (fun cid ->
+                if Sta.ws_endpoint_delay st.ws cid >= 0.98 *. stage_worst then
+                  crit.(cid) <- crit.(cid) + 1)
+              eps)
+        active_stages
+    done;
+    crit
+  in
+  let crit_chunks = Pool.parallel_chunks pool ~chunks ~init ~f:run_chunk in
   let critical_count = Hashtbl.create 256 in
-  for k = 0 to config.samples - 1 do
-    Sampler.sample_lgates sampler ~systematic rng lgates;
-    Sampler.scale_delays sampler ~base ~lgates ~vdd ~out:delays;
-    let r = Sta.analyze sta ~delays in
-    worst_samples.(k) <- r.Sta.worst;
-    List.iter
-      (fun (s, arr) ->
-        match Sta.stage_delay r s with
-        | Some d -> arr.(k) <- d
-        | None -> ())
-      stage_samples;
-    (* Endpoint criticality: flops within 2% of their stage's worst. *)
-    List.iter
-      (fun (s, _) ->
-        match Sta.stage_delay r s with
-        | None -> ()
-        | Some stage_worst ->
-          List.iter
-            (fun cid ->
-              if r.Sta.endpoint_delay.(cid) >= 0.98 *. stage_worst then
-                Hashtbl.replace critical_count cid
-                  (1 + Option.value (Hashtbl.find_opt critical_count cid) ~default:0))
-            (Sta.endpoints_of_stage sta s))
-      stage_samples
-  done;
+  Array.iter
+    (fun crit ->
+      Array.iteri
+        (fun cid c ->
+          if c > 0 then
+            Hashtbl.replace critical_count cid
+              (c + Option.value (Hashtbl.find_opt critical_count cid) ~default:0))
+        crit)
+    crit_chunks;
   let stages =
     List.map
-      (fun (stage, samples) ->
+      (fun (stage, _, samples) ->
         let fit, gof = Fit.fit_and_test samples in
         { stage; samples; summary = Stats.summarize samples; fit; gof })
-      stage_samples
+      active_stages
   in
   { position; stages; worst_samples; endpoint_critical_count = critical_count }
 

@@ -38,13 +38,25 @@ type result = {
 val run :
   ?config:config ->
   ?vdd:(Netlist.cell_id -> float) ->
+  ?pool:Pvtol_util.Pool.t ->
   sampler:Pvtol_variation.Sampler.t ->
   sta:Pvtol_timing.Sta.t ->
   placement:Pvtol_place.Placement.t ->
   position:Pvtol_variation.Position.t ->
   unit ->
   result
-(** [vdd] defaults to the library's low supply for every cell. *)
+(** [vdd] defaults to the library's low supply for every cell.
+
+    The sample range is cut into fixed 32-sample chunks executed on
+    [pool] (default {!Pvtol_util.Pool.shared}, sized by the
+    [PVTOL_DOMAINS] environment variable).  Each chunk reconstructs —
+    via an O(1) SplitMix64 jump ({!Pvtol_util.Srng.jump}) — the exact
+    RNG state the legacy serial loop would hold at the chunk's first
+    sample, and every chunk writes a disjoint slice of the sample
+    arrays, so the output is {e bit-identical} for every domain count
+    (and to the pre-parallel serial engine).  Per-worker STA workspaces
+    ({!Pvtol_timing.Sta.analyze_into}) keep the inner loop free of
+    per-sample arrival/endpoint allocations. *)
 
 val stage_stats : result -> Stage.t -> stage_stats option
 

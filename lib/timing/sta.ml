@@ -2,15 +2,19 @@ open Pvtol_netlist
 module Cell_lib = Pvtol_stdcell.Cell
 module Kind = Pvtol_stdcell.Kind
 
+let n_stages = List.length Stage.all
+
 type t = {
   nl : Netlist.t;
   order : int array;             (* combinational cells, topological *)
   base_delay : float array;      (* per cell *)
-  pin_wire : float array array;  (* per cell, per pin: wire delay *)
+  pin_off : int array;           (* CSR row offsets into pin_wire, length cells+1 *)
+  pin_wire : float array;        (* flattened per-pin wire delays, pin order *)
   clk_to_q : float;
   setup : float;
   capture_of : Stage.t option array;  (* per cell *)
   flops : int array;
+  stage_endpoints : int array array;  (* per Stage.index: capturing flops, id order *)
 }
 
 let netlist t = t.nl
@@ -87,16 +91,29 @@ let build nl ~wire_length ~capture =
         else cell.Cell_lib.d0 +. (cell.Cell_lib.drive_res *. load))
       nl.Netlist.cells
   in
-  let pin_wire =
-    Array.map
-      (fun (c : Netlist.cell) ->
-        Array.map
-          (fun nid ->
-            (* Lumped per-sink wire delay: half the net length. *)
+  (* Flattened CSR layout for the per-pin wire delays: one contiguous
+     float array walked linearly by the forward pass, instead of a
+     pointer chase through an array of per-cell arrays. *)
+  let n_cells = Netlist.cell_count nl in
+  let pin_off = Array.make (n_cells + 1) 0 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      pin_off.(c.Netlist.id + 1) <- Array.length c.Netlist.fanins)
+    nl.Netlist.cells;
+  for i = 1 to n_cells do
+    pin_off.(i) <- pin_off.(i) + pin_off.(i - 1)
+  done;
+  let pin_wire = Array.make pin_off.(n_cells) 0.0 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      let off = pin_off.(c.Netlist.id) in
+      Array.iteri
+        (fun pin nid ->
+          (* Lumped per-sink wire delay: half the net length. *)
+          pin_wire.(off + pin) <-
             lib.Cell_lib.wire_delay_per_um *. (wire_length nid /. 2.0))
-          c.Netlist.fanins)
-      nl.Netlist.cells
-  in
+        c.Netlist.fanins)
+    nl.Netlist.cells;
   let capture_of = Array.map (fun c -> capture c) nl.Netlist.cells in
   let flops =
     Array.to_list nl.Netlist.cells
@@ -104,15 +121,26 @@ let build nl ~wire_length ~capture =
     |> List.map (fun (c : Netlist.cell) -> c.Netlist.id)
     |> Array.of_list
   in
+  let stage_endpoints =
+    Array.init n_stages (fun si ->
+        Array.to_list flops
+        |> List.filter (fun cid ->
+               match capture_of.(cid) with
+               | Some s -> Stage.index s = si
+               | None -> false)
+        |> Array.of_list)
+  in
   {
     nl;
     order = topo_order nl;
     base_delay;
+    pin_off;
     pin_wire;
     clk_to_q = lib.Cell_lib.clk_to_q;
     setup = lib.Cell_lib.setup;
     capture_of;
     flops;
+    stage_endpoints;
   }
 
 let of_placement p ~capture =
@@ -122,7 +150,7 @@ let of_placement p ~capture =
 
 let comb_order t = Array.copy t.order
 let flop_ids t = Array.copy t.flops
-let pin_wire_delay t cid pin = t.pin_wire.(cid).(pin)
+let pin_wire_delay t cid pin = t.pin_wire.(t.pin_off.(cid) + pin)
 let capture_stage_of t cid = t.capture_of.(cid)
 
 let nominal_delays t = Array.copy t.base_delay
@@ -138,62 +166,104 @@ type result = {
   stage_worst : (Stage.t * float * Netlist.cell_id) list;
 }
 
-let analyze ?skew t ~delays =
+type workspace = {
+  arrival_ws : float array;         (* per net *)
+  endpoint_delay_ws : float array;  (* per cell *)
+  stage_delay_ws : float array;     (* per Stage.index; meaningful iff endpoint >= 0 *)
+  stage_endpoint_ws : int array;    (* per Stage.index; -1 = no endpoint *)
+  mutable worst_ws : float;
+  mutable worst_endpoint_ws : int;
+}
+
+let workspace t =
+  {
+    arrival_ws = Array.make (Netlist.net_count t.nl) 0.0;
+    endpoint_delay_ws = Array.make (Netlist.cell_count t.nl) 0.0;
+    stage_delay_ws = Array.make n_stages neg_infinity;
+    stage_endpoint_ws = Array.make n_stages (-1);
+    worst_ws = 0.0;
+    worst_endpoint_ws = -1;
+  }
+
+let zero_skew = fun (_ : Netlist.cell_id) -> 0.0
+
+let analyze_into ?skew t ws ~delays =
   let nl = t.nl in
-  let skew = match skew with Some f -> f | None -> fun _ -> 0.0 in
-  let arrival = Array.make (Netlist.net_count nl) 0.0 in
+  let skew = match skew with Some f -> f | None -> zero_skew in
+  let arrival = ws.arrival_ws in
+  Array.fill arrival 0 (Array.length arrival) 0.0;
   (* Launch points: flop outputs, offset by the launch edge's arrival. *)
   Array.iter
     (fun cid ->
       arrival.(nl.Netlist.cells.(cid).Netlist.fanout) <- delays.(cid) +. skew cid)
     t.flops;
   (* Primary inputs arrive at t = 0 (already initialised). *)
+  let pin_wire = t.pin_wire and pin_off = t.pin_off in
   Array.iter
     (fun cid ->
       let c = nl.Netlist.cells.(cid) in
+      let fanins = c.Netlist.fanins in
+      let off = pin_off.(cid) in
       let acc = ref 0.0 in
-      Array.iteri
-        (fun pin nid ->
-          let a = arrival.(nid) +. t.pin_wire.(cid).(pin) in
-          if a > !acc then acc := a)
-        c.Netlist.fanins;
+      for pin = 0 to Array.length fanins - 1 do
+        let a = arrival.(fanins.(pin)) +. pin_wire.(off + pin) in
+        if a > !acc then acc := a
+      done;
       arrival.(c.Netlist.fanout) <- !acc +. delays.(cid))
     t.order;
-  let endpoint_delay = Array.make (Netlist.cell_count nl) 0.0 in
-  let worst = ref neg_infinity and worst_ep = ref (-1) in
-  let stage_tbl = Hashtbl.create 8 in
+  let endpoint_delay = ws.endpoint_delay_ws in
+  Array.fill endpoint_delay 0 (Array.length endpoint_delay) 0.0;
+  Array.fill ws.stage_delay_ws 0 n_stages neg_infinity;
+  Array.fill ws.stage_endpoint_ws 0 n_stages (-1);
+  ws.worst_ws <- neg_infinity;
+  ws.worst_endpoint_ws <- -1;
   Array.iter
     (fun cid ->
       let c = nl.Netlist.cells.(cid) in
       let d_pin = c.Netlist.fanins.(0) in
       (* A late capture edge relaxes the endpoint by its own skew. *)
-      let a = arrival.(d_pin) +. t.pin_wire.(cid).(0) +. t.setup -. skew cid in
+      let a = arrival.(d_pin) +. pin_wire.(pin_off.(cid)) +. t.setup -. skew cid in
       endpoint_delay.(cid) <- a;
-      if a > !worst then begin
-        worst := a;
-        worst_ep := cid
+      if a > ws.worst_ws then begin
+        ws.worst_ws <- a;
+        ws.worst_endpoint_ws <- cid
       end;
       match t.capture_of.(cid) with
       | Some stage ->
-        let cur = Hashtbl.find_opt stage_tbl stage in
-        (match cur with
-        | Some (d, _) when d >= a -> ()
-        | _ -> Hashtbl.replace stage_tbl stage (a, cid))
+        let si = Stage.index stage in
+        if a > ws.stage_delay_ws.(si) then begin
+          ws.stage_delay_ws.(si) <- a;
+          ws.stage_endpoint_ws.(si) <- cid
+        end
       | None -> ())
     t.flops;
+  if ws.worst_endpoint_ws = -1 then ws.worst_ws <- 0.0
+
+let ws_worst ws = ws.worst_ws
+let ws_worst_endpoint ws = ws.worst_endpoint_ws
+let ws_endpoint_delay ws cid = ws.endpoint_delay_ws.(cid)
+
+let ws_stage_delay ws stage =
+  let si = Stage.index stage in
+  if ws.stage_endpoint_ws.(si) >= 0 then Some ws.stage_delay_ws.(si) else None
+
+let analyze ?skew t ~delays =
+  let ws = workspace t in
+  analyze_into ?skew t ws ~delays;
   let stage_worst =
     List.filter_map
       (fun s ->
-        match Hashtbl.find_opt stage_tbl s with
-        | Some (d, cid) -> Some (s, d, cid)
-        | None -> None)
+        let si = Stage.index s in
+        if ws.stage_endpoint_ws.(si) >= 0 then
+          Some (s, ws.stage_delay_ws.(si), ws.stage_endpoint_ws.(si))
+        else None)
       Stage.all
   in
   {
-    arrival;
-    endpoint_delay;
-    worst = (if !worst_ep = -1 then 0.0 else !worst);
-    worst_endpoint = !worst_ep;
+    arrival = ws.arrival_ws;
+    endpoint_delay = ws.endpoint_delay_ws;
+    worst = ws.worst_ws;
+    worst_endpoint = ws.worst_endpoint_ws;
     stage_worst;
   }
 
@@ -207,7 +277,7 @@ let required_with t ~delays ~endpoint_required =
       let c = nl.Netlist.cells.(cid) in
       let d_pin = c.Netlist.fanins.(0) in
       let budget = endpoint_required t.capture_of.(cid) in
-      let r = budget -. t.setup -. t.pin_wire.(cid).(0) in
+      let r = budget -. t.setup -. t.pin_wire.(t.pin_off.(cid)) in
       if r < req.(d_pin) then req.(d_pin) <- r)
     t.flops;
   (* Reverse topological order. *)
@@ -217,9 +287,10 @@ let required_with t ~delays ~endpoint_required =
     let r_out = req.(c.Netlist.fanout) in
     if Float.is_finite r_out then begin
       let r_in = r_out -. delays.(cid) in
+      let off = t.pin_off.(cid) in
       Array.iteri
         (fun pin nid ->
-          let r = r_in -. t.pin_wire.(cid).(pin) in
+          let r = r_in -. t.pin_wire.(off + pin) in
           if r < req.(nid) then req.(nid) <- r)
         c.Netlist.fanins
     end
@@ -234,9 +305,7 @@ let stage_delay result stage =
     (fun (s, d, _) -> if Stage.equal s stage then Some d else None)
     result.stage_worst
 
+let stage_endpoint_ids t stage = Array.copy t.stage_endpoints.(Stage.index stage)
+
 let endpoints_of_stage t stage =
-  Array.to_list t.flops
-  |> List.filter (fun cid ->
-         match t.capture_of.(cid) with
-         | Some s -> Stage.equal s stage
-         | None -> false)
+  Array.to_list t.stage_endpoints.(Stage.index stage)

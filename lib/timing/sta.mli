@@ -75,6 +75,31 @@ val analyze : ?skew:(Netlist.cell_id -> float) -> t -> delays:float array -> res
     delays the data launch; a capture edge arriving late relaxes the
     endpoint by the same amount.  Default: ideal clock (zero skew). *)
 
+(** {2 Allocation-free analysis}
+
+    {!analyze} allocates a fresh arrival / endpoint-delay pair per call,
+    which dominates the cost of tight Monte-Carlo loops.  A {!workspace}
+    preallocates all scratch once (typically one per worker domain) and
+    {!analyze_into} reuses it: the inner loop performs no per-sample
+    heap allocation of the arrival/endpoint arrays and produces floats
+    bit-identical to {!analyze}. *)
+
+type workspace
+(** Mutable scratch sized for one {!t}; do not share across domains. *)
+
+val workspace : t -> workspace
+
+val analyze_into :
+  ?skew:(Netlist.cell_id -> float) -> t -> workspace -> delays:float array -> unit
+(** Same semantics as {!analyze}, with results left in the workspace
+    and read through the [ws_*] accessors.  Each call overwrites the
+    previous one's results. *)
+
+val ws_worst : workspace -> float
+val ws_worst_endpoint : workspace -> Netlist.cell_id
+val ws_endpoint_delay : workspace -> Netlist.cell_id -> float
+val ws_stage_delay : workspace -> Stage.t -> float option
+
 val required : t -> delays:float array -> clock:float -> float array
 (** Backward pass: per-net required time under the clock constraint.
     Slack of a cell = required(fanout) - arrival(fanout). *)
@@ -92,3 +117,8 @@ val stage_delay : result -> Stage.t -> float option
 (** Worst path delay captured by a stage, if it has endpoints. *)
 
 val endpoints_of_stage : t -> Stage.t -> Netlist.cell_id list
+(** Flops captured by [stage], in id order (precomputed at build). *)
+
+val stage_endpoint_ids : t -> Stage.t -> Netlist.cell_id array
+(** Array form of {!endpoints_of_stage} (fresh copy); lets hot loops
+    iterate endpoints without consing. *)

@@ -1,0 +1,170 @@
+type t = {
+  domains : int;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable generation : int;  (* bumped per job; workers run each gen once *)
+  mutable active : int;      (* workers still inside the current job *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* True while the current domain is executing a pool task: a nested
+   parallel_chunks must not block on the pool it is already servicing. *)
+let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let domains t = t.domains
+
+let env_domain_count () =
+  match Sys.getenv_opt "PVTOL_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n 64)
+    | Some _ | None -> None)
+
+let default_domain_count () =
+  match env_domain_count () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.lock;
+  while (not t.stopped) && t.generation = last_gen do
+    Condition.wait t.work_ready t.lock
+  done;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    let gen = t.generation in
+    let job = t.job in
+    Mutex.unlock t.lock;
+    (match job with
+    | Some f -> ( try f () with _ -> () (* jobs capture their own errors *))
+    | None -> ());
+    Mutex.lock t.lock;
+    t.active <- t.active - 1;
+    if t.active = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.lock;
+    worker_loop t gen
+  end
+
+let create ?domains () =
+  let n =
+    match domains with
+    | None -> default_domain_count ()
+    | Some n when n >= 1 -> min n 64
+    | Some n -> invalid_arg (Printf.sprintf "Pool.create: domains = %d" n)
+  in
+  let t =
+    {
+      domains = n;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      active = 0;
+      stopped = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let shared_pool = ref None
+
+let shared () =
+  match !shared_pool with
+  | Some p when not p.stopped -> p
+  | _ ->
+    let p = create () in
+    shared_pool := Some p;
+    at_exit (fun () -> shutdown p);
+    p
+
+(* Run [job] on every participating domain (workers + caller) and wait
+   for all of them to leave it. *)
+let run_job t job =
+  Mutex.lock t.lock;
+  t.job <- Some job;
+  t.generation <- t.generation + 1;
+  t.active <- Array.length t.workers;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  (try job () with _ -> ());
+  Mutex.lock t.lock;
+  while t.active > 0 do
+    Condition.wait t.work_done t.lock
+  done;
+  t.job <- None;
+  Mutex.unlock t.lock
+
+let serial_chunks ~chunks ~init ~f =
+  let state = init ~worker:0 in
+  Array.init chunks (fun c -> f state c)
+
+let parallel_chunks (type s a) t ~chunks ~(init : worker:int -> s)
+    ~(f : s -> int -> a) : a array =
+  if chunks < 0 then invalid_arg "Pool.parallel_chunks: negative chunks";
+  if chunks = 0 then [||]
+  else if
+    Domain.DLS.get inside_task || t.stopped || t.domains = 1
+    || Array.length t.workers = 0 || chunks = 1
+  then serial_chunks ~chunks ~init ~f
+  else begin
+    let results : a option array = Array.make chunks None in
+    let errors : exn option array = Array.make chunks None in
+    let init_error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker_ids = Atomic.make 0 in
+    let body () =
+      Domain.DLS.set inside_task true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside_task false)
+        (fun () ->
+          let w = Atomic.fetch_and_add worker_ids 1 in
+          match init ~worker:w with
+          | exception e ->
+            (* Remember one init failure; other domains drain the chunks. *)
+            ignore (Atomic.compare_and_set init_error None (Some e))
+          | state ->
+            let continue = ref true in
+            while !continue do
+              let c = Atomic.fetch_and_add next 1 in
+              if c >= chunks then continue := false
+              else
+                match f state c with
+                | v -> results.(c) <- Some v
+                | exception e -> errors.(c) <- Some e
+            done)
+    in
+    run_job t body;
+    (* Deterministic error reporting: lowest failing chunk wins. *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> (
+          (* Only possible if every domain's [init] raised. *)
+          match Atomic.get init_error with
+          | Some e -> raise e
+          | None -> failwith "Pool.parallel_chunks: chunk not executed"))
+      results
+  end
+
+let map t ~f arr =
+  parallel_chunks t ~chunks:(Array.length arr)
+    ~init:(fun ~worker:_ -> ())
+    ~f:(fun () i -> f arr.(i))

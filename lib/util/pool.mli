@@ -1,0 +1,61 @@
+(** Fixed-size domain pool for deterministic data-parallel fan-out.
+
+    A pool owns [domains - 1] worker domains (the calling domain is the
+    remaining participant) that stay alive across jobs, so repeated
+    fan-outs — e.g. one per Monte-Carlo run — pay the domain-spawn cost
+    once.  Work is expressed as a fixed range of {e chunk} indices;
+    workers self-schedule chunks from a shared counter, but every
+    chunk's result is stored at its own index, so the reduction is
+    ordered and the output is independent of the schedule and of the
+    domain count.
+
+    The pool size comes from, in priority order: the [?domains]
+    argument, the [PVTOL_DOMAINS] environment variable, and
+    [Domain.recommended_domain_count ()].
+
+    Nested use is guarded: calling {!parallel_chunks} from inside a
+    pool task (any pool's task) runs the inner job serially in the
+    calling worker instead of deadlocking on the pool's own queue.
+    Pools are otherwise for use from a single orchestrating domain;
+    concurrent jobs on one pool from several domains are not
+    supported. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ()] spawns the worker domains.  [?domains] must be >= 1;
+    [1] means no workers are spawned and every job runs serially in the
+    caller.  Raises [Invalid_argument] on a non-positive count. *)
+
+val domains : t -> int
+(** Total parallelism of the pool, including the calling domain. *)
+
+val default_domain_count : unit -> int
+(** [PVTOL_DOMAINS] if set to a positive integer (clamped to 64), else
+    [Domain.recommended_domain_count ()]. *)
+
+val shared : unit -> t
+(** A lazily-created process-wide pool of {!default_domain_count}
+    domains, shut down automatically at exit.  Library code that has
+    not been handed an explicit pool should use this one. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent.  Any later job on the pool
+    runs serially in the caller.  Never call it from inside a task. *)
+
+val parallel_chunks :
+  t -> chunks:int -> init:(worker:int -> 's) -> f:('s -> int -> 'a) -> 'a array
+(** [parallel_chunks pool ~chunks ~init ~f] evaluates [f state c] for
+    every chunk index [c] in [0 .. chunks-1] and returns the results in
+    chunk order.  Each participating domain first builds its private
+    [state] with [init ~worker] (worker ids are dense, assigned per
+    job), so scratch buffers can be reused across the chunks a worker
+    processes without any sharing.
+
+    If one or more chunks raise, the remaining chunks still run and
+    the exception of the lowest-numbered failing chunk is re-raised in
+    the caller; the pool stays usable. *)
+
+val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map pool ~f arr] applies [f] to every element in parallel (one
+    chunk per element), preserving order. *)

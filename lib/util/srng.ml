@@ -15,6 +15,14 @@ let bits64 g =
   g.state <- Int64.add g.state golden_gamma;
   mix g.state
 
+let jump g n =
+  if n < 0 then invalid_arg "Srng.jump: negative count";
+  (* SplitMix64 state advances by a fixed gamma per draw, so skipping
+     [n] draws is a single multiply-add.  Any cached Box-Muller half
+     belongs to the undrawn part of the stream and is dropped. *)
+  g.state <- Int64.add g.state (Int64.mul (Int64.of_int n) golden_gamma);
+  g.cached <- None
+
 let split g =
   let s = bits64 g in
   { state = mix s; cached = None }

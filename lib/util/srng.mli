@@ -13,6 +13,14 @@ val create : int -> t
 val copy : t -> t
 (** [copy g] duplicates the current state of [g]. *)
 
+val jump : t -> int -> unit
+(** [jump g n] advances [g] past the next [n] raw draws in O(1) —
+    SplitMix64's state moves by a fixed increment per draw — and clears
+    any cached Box-Muller half.  After [jump g n], [g] produces exactly
+    the stream a fresh copy would after [n] calls to {!bits64}.  Used
+    by the parallel Monte-Carlo engine to hand each sample chunk the
+    exact continuation of the serial stream. *)
+
 val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of [g]'s subsequent output. *)

@@ -25,6 +25,93 @@ let run ?(samples = 60) ?(seed = 5) ?vdd position =
   let _, _, p, sta, sampler = Lazy.force env in
   MC.run ~config:{ MC.samples; seed } ?vdd ~sampler ~sta ~placement:p ~position ()
 
+(* Golden values captured from the pre-parallel serial engine (one
+   sequential SplitMix64 stream over all samples) for the seed config
+   below: samples=60, seed=5, point A, small VEX.  The chunked engine
+   must reproduce them bit-for-bit for every domain count — that is the
+   whole point of the jump-ahead RNG chunking. *)
+let golden_worst_0 = 0x1.bfe39f066e2efp+1
+let golden_worst_59 = 0x1.c3f1388923c4bp+1
+let golden_worst_sum = 0x1.a369ed8005faep+7
+
+let golden_stage_means =
+  [
+    (Stage.Fetch, 0x1.5def8212cd50fp+0);
+    (Stage.Decode, 0x1.714671bf8111bp+0);
+    (Stage.Execute, 0x1.bf5fec444aa52p+1);
+    (Stage.Writeback, 0x1.6e286acd91abap+1);
+  ]
+
+let golden_crit_checksum = 2637444
+let golden_crit_size = 81
+
+let test_mc_domain_invariance () =
+  let module Pool = Pvtol_util.Pool in
+  let _, _, p, sta, sampler = Lazy.force env in
+  let run_with pool =
+    MC.run ~config:{ MC.samples = 60; seed = 5 } ~pool ~sampler ~sta
+      ~placement:p ~position:Position.point_a ()
+  in
+  let check_golden label (r : MC.result) =
+    Alcotest.(check bool)
+      (label ^ ": worst_samples.(0) golden")
+      true
+      (r.MC.worst_samples.(0) = golden_worst_0);
+    Alcotest.(check bool)
+      (label ^ ": worst_samples.(59) golden")
+      true
+      (r.MC.worst_samples.(59) = golden_worst_59);
+    Alcotest.(check bool)
+      (label ^ ": worst_samples sum golden")
+      true
+      (Array.fold_left ( +. ) 0.0 r.MC.worst_samples = golden_worst_sum);
+    List.iter
+      (fun (stage, mean) ->
+        match MC.stage_stats r stage with
+        | None -> Alcotest.failf "%s: stage %s missing" label (Stage.name stage)
+        | Some ss ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s mean golden" label (Stage.name stage))
+            true
+            (ss.MC.summary.Pvtol_util.Stats.mean = mean))
+      golden_stage_means;
+    let acc = ref 0 in
+    Hashtbl.iter
+      (fun cid n -> acc := !acc + (cid * n))
+      r.MC.endpoint_critical_count;
+    Alcotest.(check int) (label ^ ": criticality checksum") golden_crit_checksum !acc;
+    Alcotest.(check int)
+      (label ^ ": criticality table size")
+      golden_crit_size
+      (Hashtbl.length r.MC.endpoint_critical_count)
+  in
+  let reference = ref None in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let r = run_with pool in
+          let label = Printf.sprintf "%d domains" domains in
+          check_golden label r;
+          match !reference with
+          | None -> reference := Some r
+          | Some r0 ->
+            Alcotest.(check bool)
+              (label ^ ": worst_samples bit-identical to 1 domain")
+              true
+              (r.MC.worst_samples = r0.MC.worst_samples);
+            List.iter2
+              (fun (a : MC.stage_stats) (b : MC.stage_stats) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: %s samples bit-identical" label
+                     (Stage.name a.MC.stage))
+                  true
+                  (a.MC.samples = b.MC.samples))
+              r.MC.stages r0.MC.stages))
+    [ 1; 2; 4 ]
+
 let test_mc_deterministic () =
   let a = run Position.point_a and b = run Position.point_a in
   List.iter2
@@ -191,6 +278,8 @@ let suite =
   ( "ssta",
     [
       Alcotest.test_case "mc deterministic" `Quick test_mc_deterministic;
+      Alcotest.test_case "mc domain-count invariance + serial golden" `Quick
+        test_mc_domain_invariance;
       Alcotest.test_case "mc seed sensitivity" `Quick test_mc_seed_changes_samples;
       Alcotest.test_case "mc stage coverage" `Quick test_mc_stage_coverage;
       Alcotest.test_case "mc position ordering" `Quick test_mc_position_ordering;

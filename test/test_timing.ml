@@ -333,11 +333,52 @@ let test_wireload_model () =
 
 let qcheck = QCheck_alcotest.to_alcotest
 
+let test_analyze_into_matches_analyze () =
+  (* analyze_into on a reused workspace must be bit-identical to the
+     allocating analyze, across successive delay vectors. *)
+  let nl = chain_netlist 4 in
+  let sta = Sta.build nl ~wire_length:(fun _ -> 7.5) ~capture:capture_all in
+  let ws = Sta.workspace sta in
+  List.iter
+    (fun scale ->
+      let delays = Sta.scaled_delays sta ~scale:(fun _ -> scale) in
+      let r = Sta.analyze sta ~delays in
+      Sta.analyze_into sta ws ~delays;
+      Alcotest.(check bool) "worst equal" true (Sta.ws_worst ws = r.Sta.worst);
+      Alcotest.(check int) "worst endpoint equal" r.Sta.worst_endpoint
+        (Sta.ws_worst_endpoint ws);
+      List.iter
+        (fun (s, d, _) ->
+          Alcotest.(check bool)
+            (Stage.name s ^ " stage delay equal")
+            true
+            (Sta.ws_stage_delay ws s = Some d))
+        r.Sta.stage_worst;
+      Array.iter
+        (fun cid ->
+          Alcotest.(check bool) "endpoint delay equal" true
+            (Sta.ws_endpoint_delay ws cid = r.Sta.endpoint_delay.(cid)))
+        (Sta.flop_ids sta))
+    [ 1.0; 1.3; 0.8 ]
+
+let test_stage_endpoint_ids () =
+  let nl = chain_netlist 2 in
+  let sta = Sta.build nl ~wire_length:no_wire ~capture:capture_all in
+  let ids = Sta.stage_endpoint_ids sta Stage.Execute in
+  Alcotest.(check (list int))
+    "array matches list" (Sta.endpoints_of_stage sta Stage.Execute)
+    (Array.to_list ids);
+  Alcotest.(check (list int)) "no decode endpoints" []
+    (Sta.endpoints_of_stage sta Stage.Decode)
+
 let suite =
   ( "timing",
     [
       Alcotest.test_case "sta chain arithmetic" `Quick test_sta_chain_arithmetic;
       Alcotest.test_case "sta max path" `Quick test_sta_uses_max_path;
+      Alcotest.test_case "analyze_into matches analyze" `Quick
+        test_analyze_into_matches_analyze;
+      Alcotest.test_case "stage endpoint ids" `Quick test_stage_endpoint_ids;
       qcheck test_delay_monotonicity;
       Alcotest.test_case "required consistency" `Quick test_required_consistency;
       Alcotest.test_case "stage worst bounds global" `Quick test_stage_worst_bounds_global;

@@ -2,6 +2,7 @@
    histograms, geometry, tables. *)
 
 module Srng = Pvtol_util.Srng
+module Pool = Pvtol_util.Pool
 module Stats = Pvtol_util.Stats
 module Specfun = Pvtol_util.Specfun
 module Fit = Pvtol_util.Fit
@@ -56,6 +57,23 @@ let test_srng_gaussian_moments () =
   done;
   check_approx ~eps:0.03 "gaussian mean" 0.0 (Stats.Running.mean acc);
   check_approx ~eps:0.03 "gaussian stddev" 1.0 (Stats.Running.stddev acc)
+
+let test_srng_jump () =
+  (* jump n == discarding n raw draws. *)
+  let a = Srng.create 23 and b = Srng.create 23 in
+  for _ = 1 to 17 do
+    ignore (Srng.bits64 a)
+  done;
+  Srng.jump b 17;
+  Alcotest.(check int64) "jump matches drawn stream" (Srng.bits64 a) (Srng.bits64 b);
+  (* jump 0 clears the Box-Muller cache but leaves the raw stream. *)
+  let c = Srng.create 5 and d = Srng.create 5 in
+  ignore (Srng.gaussian c);
+  (* c holds a cached half *)
+  Srng.jump c 0;
+  Srng.jump d 2;
+  (* d skipped the same pair of uniforms *)
+  Alcotest.(check int64) "cache dropped" (Srng.bits64 c) (Srng.bits64 d)
 
 let test_srng_split_diverges () =
   let a = Srng.create 11 in
@@ -226,6 +244,94 @@ let test_table_render () =
 
 let qcheck = QCheck_alcotest.to_alcotest
 
+(* --- Pool --- *)
+
+let with_pool ~domains f =
+  let p = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_pool_ordering () =
+  (* Results land in chunk order whatever the domain count. *)
+  let expected = Array.init 53 (fun c -> c * c) in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          let got =
+            Pool.parallel_chunks p ~chunks:53
+              ~init:(fun ~worker -> worker)
+              ~f:(fun _ c -> c * c)
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "ordered with %d domains" domains)
+            expected got))
+    [ 1; 2; 4 ]
+
+let test_pool_map () =
+  with_pool ~domains:3 (fun p ->
+      let got = Pool.map p ~f:(fun x -> x + 1) (Array.init 10 Fun.id) in
+      Alcotest.(check (array int)) "map order" (Array.init 10 (fun i -> i + 1)) got)
+
+let test_pool_exception () =
+  with_pool ~domains:4 (fun p ->
+      (try
+         ignore
+           (Pool.parallel_chunks p ~chunks:20
+              ~init:(fun ~worker:_ -> ())
+              ~f:(fun () c -> if c = 7 || c = 13 then failwith "chunk boom" else c));
+         Alcotest.fail "expected exception"
+       with Failure m -> Alcotest.(check string) "propagated" "chunk boom" m);
+      (* The pool survives a failing job. *)
+      let got =
+        Pool.parallel_chunks p ~chunks:5
+          ~init:(fun ~worker:_ -> ())
+          ~f:(fun () c -> c)
+      in
+      Alcotest.(check (array int)) "pool reusable" [| 0; 1; 2; 3; 4 |] got)
+
+let test_pool_nested () =
+  (* A task that fans out again must not deadlock: the nested call runs
+     serially inside the worker and still returns ordered results. *)
+  with_pool ~domains:4 (fun p ->
+      let got =
+        Pool.parallel_chunks p ~chunks:6
+          ~init:(fun ~worker:_ -> ())
+          ~f:(fun () c ->
+            let inner =
+              Pool.parallel_chunks p ~chunks:4
+                ~init:(fun ~worker:_ -> ())
+                ~f:(fun () i -> (10 * c) + i)
+            in
+            Array.fold_left ( + ) 0 inner)
+      in
+      Alcotest.(check (array int))
+        "nested results"
+        (Array.init 6 (fun c -> (40 * c) + 6))
+        got)
+
+let test_pool_worker_state () =
+  (* init runs once per participating domain; workers reuse their state
+     across chunks (counts sum to the chunk total). *)
+  with_pool ~domains:3 (fun p ->
+      let counters =
+        Pool.parallel_chunks p ~chunks:40
+          ~init:(fun ~worker:_ -> ref 0)
+          ~f:(fun r _ ->
+            incr r;
+            r)
+      in
+      let distinct =
+        Array.fold_left
+          (fun acc r -> if List.memq r acc then acc else r :: acc)
+          [] counters
+      in
+      Alcotest.(check bool) "few distinct states" true (List.length distinct <= 3);
+      let total = List.fold_left (fun acc r -> acc + !r) 0 distinct in
+      Alcotest.(check int) "all chunks counted" 40 total)
+
+let test_pool_default_count () =
+  Alcotest.(check bool) "default domain count positive" true
+    (Pool.default_domain_count () >= 1)
+
 let suite =
   ( "util",
     [
@@ -235,6 +341,13 @@ let suite =
       Alcotest.test_case "srng int range" `Quick test_srng_int_range;
       Alcotest.test_case "srng gaussian moments" `Quick test_srng_gaussian_moments;
       Alcotest.test_case "srng split diverges" `Quick test_srng_split_diverges;
+      Alcotest.test_case "srng jump" `Quick test_srng_jump;
+      Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
+      Alcotest.test_case "pool map" `Quick test_pool_map;
+      Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
+      Alcotest.test_case "pool nested-use guard" `Quick test_pool_nested;
+      Alcotest.test_case "pool worker-local state" `Quick test_pool_worker_state;
+      Alcotest.test_case "pool default domain count" `Quick test_pool_default_count;
       Alcotest.test_case "srng shuffle permutation" `Quick test_srng_shuffle_permutation;
       Alcotest.test_case "stats known values" `Quick test_stats_known;
       Alcotest.test_case "stats welford" `Quick test_stats_welford_matches_direct;
