@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick fmt-check clean
+.PHONY: all build test bench bench-quick trace-quick fmt-check clean
 
 all: build
 
@@ -19,6 +19,12 @@ bench:
 # fresh BENCH_ssta.json in the working directory.
 bench-quick:
 	dune exec bench/main.exe -- --quick kernels --json
+
+# Quick stage-graph trace: runs the scaled-down flow and prints the
+# span report (stage, wall clock, allocation, dependencies) to stderr,
+# leaving trace.json in the working directory.
+trace-quick:
+	dune exec bin/pvtol.exe -- --quick --trace
 
 # `dune build @fmt` needs the ocamlformat binary; skip gracefully where
 # it isn't installed (see .ocamlformat).

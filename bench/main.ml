@@ -65,17 +65,16 @@ type mc_report = {
 let mc_speedup r = r.parallel_sps /. r.serial_sps
 
 let mc_throughput ~quick () =
-  let c = context ~quick () in
-  let t = c.Experiments.flow in
-  let samples = t.Flow.config.Flow.mc_samples in
-  let seed = t.Flow.config.Flow.mc_seed in
+  let t = context ~quick () in
+  let samples = (Flow.config t).Flow.mc_samples in
+  let seed = (Flow.config t).Flow.mc_seed in
   let time_run ~pool =
     let t0 = Unix.gettimeofday () in
     let r =
       MC.run
         ~config:{ MC.samples; seed }
-        ~pool ~sampler:t.Flow.sampler ~sta:t.Flow.sta ~placement:t.Flow.placement
-        ~position:Position.point_b ()
+        ~pool ~sampler:(Flow.sampler t) ~sta:(Flow.sta t)
+        ~placement:(Flow.placement t) ~position:Position.point_b ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     (float_of_int samples /. dt, r)
@@ -103,12 +102,11 @@ let print_mc_report r =
 let kernel_estimates ~quick () =
   let open Bechamel in
   let open Toolkit in
-  let c = context ~quick () in
-  let t = c.Experiments.flow in
-  let sta = t.Flow.sta in
+  let t = context ~quick () in
+  let sta = Flow.sta t in
   let base = Sta.nominal_delays sta in
-  let sampler = t.Flow.sampler in
-  let placement = t.Flow.placement in
+  let sampler = Flow.sampler t in
+  let placement = Flow.placement t in
   let systematic = Sampler.systematic_lgates sampler placement Position.point_a in
   let n = Array.length base in
   let lgates = Array.make n 0.0 in
@@ -116,7 +114,7 @@ let kernel_estimates ~quick () =
   let ws = Sta.workspace sta in
   let rng = Srng.create 99 in
   let low =
-    t.Flow.netlist.Pvtol_netlist.Netlist.lib.Pvtol_stdcell.Cell.process
+    (Flow.netlist t).Pvtol_netlist.Netlist.lib.Pvtol_stdcell.Cell.process
       .Pvtol_stdcell.Process.vdd_low
   in
   let field = Field.default in
@@ -159,21 +157,21 @@ let kernel_estimates ~quick () =
         (Staged.stage (fun () ->
              ignore
                (Level_shifter.count_crossings
-                  c.Experiments.vertical.Flow.slicing.Slicing.partition
-                  placement t.Flow.netlist)));
+                  (Flow.variant t Island.Vertical).Flow.slicing.Slicing.partition
+                  placement (Flow.netlist t))));
       Test.make ~name:"fig5-6/power-pass"
         (Staged.stage (fun () ->
              ignore
                (Power.analyze
                   ~vdd:(fun _ -> low)
-                  ~activity:t.Flow.activity
+                  ~activity:(Flow.activity t)
                   ~wire_length:(fun nid ->
                     Pvtol_place.Placement.wire_length placement nid)
-                  ~clock_ns:t.Flow.clock t.Flow.netlist)));
+                  ~clock_ns:(Flow.clock t) (Flow.netlist t))));
       Test.make ~name:"gatesim/cycle"
         (Staged.stage (fun () ->
              ignore
-               (Gatesim.run ~cycles:1 t.Flow.netlist
+               (Gatesim.run ~cycles:1 (Flow.netlist t)
                   (Gatesim.random_stimulus ~seed:5))));
     ]
   in
@@ -251,10 +249,10 @@ let kernels ~quick ~json () =
 let exhibits =
   [
     ("fig2", fun _c -> Experiments.fig2_lgate_map ());
-    ("table1", fun c -> Experiments.table1_breakdown c.Experiments.flow);
-    ("fig3", fun c -> Experiments.fig3_distributions c.Experiments.flow);
-    ("scenarios", fun c -> Experiments.scenarios_summary c.Experiments.flow);
-    ("razor", fun c -> Experiments.razor_sites c.Experiments.flow);
+    ("table1", Experiments.table1_breakdown);
+    ("fig3", Experiments.fig3_distributions);
+    ("scenarios", Experiments.scenarios_summary);
+    ("razor", Experiments.razor_sites);
     ("fig4", Experiments.fig4_islands);
     ("table2", Experiments.table2_level_shifters);
     ("fig5", Experiments.fig5_total_power);

@@ -4,6 +4,7 @@
 
 module Experiments = Pvtol_core.Experiments
 module Flow = Pvtol_core.Flow
+module Trace = Pvtol_util.Trace
 module Vex_core = Pvtol_vex.Vex_core
 module Netlist = Pvtol_netlist.Netlist
 open Cmdliner
@@ -23,6 +24,19 @@ let seed =
   let doc = "Random seed for the Monte-Carlo and stimulus streams." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
 
+let trace_flag =
+  let doc =
+    "Report the stage graph after the run: every pipeline stage that \
+     was computed, its wall-clock time, heap allocation and \
+     dependencies (to stderr), and write the same spans as \
+     $(b,trace.json)."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_out =
+  let doc = "File the JSON trace is written to when $(b,--trace) is set." in
+  Arg.(value & opt string "trace.json" & info [ "trace-out" ] ~doc ~docv:"FILE")
+
 let config_of ~quick ~samples ~seed =
   let base = if quick then Flow.quick_config else Flow.default_config in
   let base =
@@ -30,28 +44,35 @@ let config_of ~quick ~samples ~seed =
   in
   match seed with Some s -> { base with Flow.mc_seed = s } | None -> base
 
-let context ~quick ~samples ~seed =
-  Experiments.make_context ~config:(config_of ~quick ~samples ~seed) ()
+(* Run [f] on a fresh flow handle; with [--trace], print the span
+   report and write the JSON artifact afterwards (also when a stage
+   fails, so the trace shows how far the run got). *)
+let with_flow ~quick ~samples ~seed ~trace ~trace_out f =
+  let t = Flow.prepare ~config:(config_of ~quick ~samples ~seed) () in
+  let emit () =
+    if trace then begin
+      Format.eprintf "%a@?" Trace.pp (Flow.trace t);
+      Trace.write_json (Flow.trace t) trace_out;
+      Format.eprintf "trace written to %s@." trace_out
+    end
+  in
+  match f t with
+  | () -> emit ()
+  | exception exn ->
+    emit ();
+    raise exn
 
 (* ------------------------------------------------------------------ *)
 (* Exhibit subcommands                                                  *)
 
 let exhibit_cmd name doc render =
-  let run quick samples seed =
-    print_string (render (context ~quick ~samples ~seed))
+  let run quick samples seed trace trace_out =
+    with_flow ~quick ~samples ~seed ~trace ~trace_out (fun t ->
+        print_string (render t))
   in
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(const run $ quick $ samples $ seed)
-
-let flow_only_cmd name doc render =
-  let run quick samples seed =
-    let t = Flow.prepare ~config:(config_of ~quick ~samples ~seed) () in
-    print_string (render t)
-  in
-  Cmd.v
-    (Cmd.info name ~doc)
-    Term.(const run $ quick $ samples $ seed)
+    Term.(const run $ quick $ samples $ seed $ trace_flag $ trace_out)
 
 let fig2_cmd =
   let run () = print_string (Experiments.fig2_lgate_map ()) in
@@ -62,15 +83,15 @@ let fig2_cmd =
 let cmds_exhibits =
   [
     fig2_cmd;
-    flow_only_cmd "table1" "Area/power breakdown of the VEX design (Table 1)."
+    exhibit_cmd "table1" "Area/power breakdown of the VEX design (Table 1)."
       Experiments.table1_breakdown;
-    flow_only_cmd "fig3"
+    exhibit_cmd "fig3"
       "Per-stage critical-path slack distributions at point A (Fig. 3)."
       Experiments.fig3_distributions;
-    flow_only_cmd "scenarios"
+    exhibit_cmd "scenarios"
       "Timing-violation scenarios along the chip diagonal (section 4.4)."
       Experiments.scenarios_summary;
-    flow_only_cmd "razor" "Razor sensing-site selection (section 4.4)."
+    exhibit_cmd "razor" "Razor sensing-site selection (section 4.4)."
       Experiments.razor_sites;
     exhibit_cmd "fig4" "Voltage-island generation, both slicings (Fig. 4)."
       Experiments.fig4_islands;
@@ -121,23 +142,22 @@ let outdir =
   Arg.(value & opt string "." & info [ "o"; "outdir" ] ~doc)
 
 let dump_cmd =
-  let run quick outdir =
-    let config = if quick then Flow.quick_config else Flow.default_config in
-    let t = Flow.prepare ~config () in
-    let nl = t.Flow.netlist in
-    let path name = Filename.concat outdir name in
-    Pvtol_stdcell.Liberty.write_file (path "pvtol65lp.lib") nl.Netlist.lib;
-    Pvtol_place.Def.write_file (path "vex.def") t.Flow.placement;
-    let delays = Pvtol_timing.Sta.nominal_delays t.Flow.sta in
-    Pvtol_timing.Sdf.write_file (path "vex.sdf") nl ~delays;
-    Pvtol_netlist.Verilog.write_file (path "vex.v") nl;
-    Pvtol_timing.Spef.write_file (path "vex.spef") nl
-      (Pvtol_timing.Spef.extract t.Flow.placement);
-    Printf.printf
-      "wrote %s, %s, %s, %s and %s\n(design: %d cells, clock %.3f ns)\n"
-      (path "pvtol65lp.lib") (path "vex.def") (path "vex.sdf") (path "vex.v")
-      (path "vex.spef")
-      (Netlist.cell_count nl) t.Flow.clock
+  let run quick outdir trace trace_out =
+    with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out (fun t ->
+        let nl = Flow.netlist t in
+        let path name = Filename.concat outdir name in
+        Pvtol_stdcell.Liberty.write_file (path "pvtol65lp.lib") nl.Netlist.lib;
+        Pvtol_place.Def.write_file (path "vex.def") (Flow.placement t);
+        let delays = Pvtol_timing.Sta.nominal_delays (Flow.sta t) in
+        Pvtol_timing.Sdf.write_file (path "vex.sdf") nl ~delays;
+        Pvtol_netlist.Verilog.write_file (path "vex.v") nl;
+        Pvtol_timing.Spef.write_file (path "vex.spef") nl
+          (Pvtol_timing.Spef.extract (Flow.placement t));
+        Printf.printf
+          "wrote %s, %s, %s, %s and %s\n(design: %d cells, clock %.3f ns)\n"
+          (path "pvtol65lp.lib") (path "vex.def") (path "vex.sdf") (path "vex.v")
+          (path "vex.spef")
+          (Netlist.cell_count nl) (Flow.clock t))
   in
   Cmd.v
     (Cmd.info "dump"
@@ -145,28 +165,32 @@ let dump_cmd =
          "Run the front-end flow and write the Liberty library, DEF \
           placement, SDF delays, structural Verilog and SPEF parasitics \
           of the prepared design.")
-    Term.(const run $ quick $ outdir)
+    Term.(const run $ quick $ outdir $ trace_flag $ trace_out)
+
+let summary_run quick trace trace_out =
+  with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out (fun t ->
+      Format.printf "%a" Netlist.pp_summary (Flow.netlist t);
+      Format.printf "clock: %.3f ns (%.1f MHz)@." (Flow.clock t)
+        (1000.0 /. Flow.clock t);
+      List.iter
+        (fun sc -> Format.printf "%a" Pvtol_ssta.Scenario.pp sc)
+        (Flow.scenarios t))
 
 let summary_cmd =
-  let run quick =
-    let config = if quick then Flow.quick_config else Flow.default_config in
-    let t = Flow.prepare ~config () in
-    Format.printf "%a" Netlist.pp_summary t.Flow.netlist;
-    Format.printf "clock: %.3f ns (%.1f MHz)@." t.Flow.clock (1000.0 /. t.Flow.clock);
-    List.iter
-      (fun sc -> Format.printf "%a" Pvtol_ssta.Scenario.pp sc)
-      (t.Flow.scenarios ())
-  in
   Cmd.v
     (Cmd.info "summary" ~doc:"Prepared-design summary and scenario ladder.")
-    Term.(const run $ quick)
+    Term.(const summary_run $ quick $ trace_flag $ trace_out)
 
 let main =
   let doc =
     "process-variation tolerant pipeline design through placement-aware \
      multiple voltage islands (DATE 2008 reproduction)"
   in
+  (* Bare [pvtol] (no subcommand) runs the summary, so
+     [pvtol --quick --trace] reports the prepared design plus its stage
+     trace. *)
   Cmd.group
+    ~default:Term.(const summary_run $ quick $ trace_flag $ trace_out)
     (Cmd.info "pvtol" ~version:"1.0.0" ~doc)
     (cmds_exhibits @ [ dump_cmd; summary_cmd ])
 

@@ -19,7 +19,7 @@ module Position = Pvtol_variation.Position
 
 let () =
   let t = Flow.prepare ~config:Flow.quick_config () in
-  let nl = t.Flow.netlist in
+  let nl = (Flow.netlist t) in
 
   (* Liberty: the cell library. *)
   let lib_text = Liberty.to_string nl.Netlist.lib in
@@ -39,44 +39,44 @@ let () =
     (if Netlist.cell_count nl2 = Netlist.cell_count nl then "ok" else "MISMATCH");
 
   (* DEF: the placement. *)
-  let def_text = Def.to_string t.Flow.placement in
+  let def_text = Def.to_string (Flow.placement t) in
   let p2 = Def.of_string nl def_text in
   let dx =
     Array.mapi
       (fun i x -> Float.abs (x -. p2.Pvtol_place.Placement.xs.(i)))
-      t.Flow.placement.Pvtol_place.Placement.xs
+      (Flow.placement t).Pvtol_place.Placement.xs
     |> Array.fold_left Float.max 0.0
   in
   Format.printf "DEF:      %6d bytes, max coordinate error %.4f um@."
     (String.length def_text) dx;
 
   (* SDF: the delays — including the paper's §4.3 rewriting loop. *)
-  let delays = Sta.nominal_delays t.Flow.sta in
+  let delays = Sta.nominal_delays (Flow.sta t) in
   let sdf_text = Sdf.to_string nl ~delays in
   let systematic =
-    Sampler.systematic_lgates t.Flow.sampler t.Flow.placement Position.point_a
+    Sampler.systematic_lgates (Flow.sampler t) (Flow.placement t) Position.point_a
   in
   let rewritten =
     Sdf.rewrite nl sdf_text ~f:(fun c d ->
         d
-        *. Sampler.delay_scale t.Flow.sampler
+        *. Sampler.delay_scale (Flow.sampler t)
              ~lgate_nm:systematic.(c.Netlist.id)
              ~vdd:1.0)
   in
   let slow = Sdf.of_string nl rewritten in
-  let r0 = Sta.analyze t.Flow.sta ~delays in
-  let r1 = Sta.analyze t.Flow.sta ~delays:slow in
+  let r0 = Sta.analyze (Flow.sta t) ~delays in
+  let r1 = Sta.analyze (Flow.sta t) ~delays:slow in
   Format.printf
     "SDF:      %6d bytes; variation rewrite at point A: %.3f -> %.3f ns (%+.1f%%)@."
     (String.length sdf_text) r0.Sta.worst r1.Sta.worst
     (100.0 *. (r1.Sta.worst -. r0.Sta.worst) /. r0.Sta.worst);
 
   (* SPEF: the parasitics, closing the estimate-extract loop. *)
-  let parasitics = Spef.extract t.Flow.placement in
+  let parasitics = Spef.extract (Flow.placement t) in
   let spef_text = Spef.to_string nl parasitics in
   let annotated =
     Spef.annotate nl (Spef.of_string nl spef_text)
-      ~capture:t.Flow.design.Pvtol_vex.Vex_core.capture_stage
+      ~capture:(Flow.design t).Pvtol_vex.Vex_core.capture_stage
   in
   let ra = Sta.analyze annotated ~delays:(Sta.nominal_delays annotated) in
   Format.printf

@@ -21,12 +21,12 @@ let () =
   (* 1. Front half of the flow: design, placement, timing closure,
         switching activity, Monte-Carlo SSTA (memoized per position). *)
   let t = Flow.prepare ~config:Flow.quick_config () in
-  Format.printf "Design: %a" Netlist.pp_summary t.Flow.netlist;
-  Format.printf "Nominal clock: %.3f ns (%.1f MHz)@.@." t.Flow.clock
-    (1000.0 /. t.Flow.clock);
+  Format.printf "Design: %a" Netlist.pp_summary (Flow.netlist t);
+  Format.printf "Nominal clock: %.3f ns (%.1f MHz)@.@." (Flow.clock t)
+    (1000.0 /. (Flow.clock t));
 
   (* 2. Violation scenarios at the named die positions A-D. *)
-  List.iter (fun sc -> Format.printf "%a" Scenario.pp sc) (t.Flow.scenarios ());
+  List.iter (fun sc -> Format.printf "%a" Scenario.pp sc) (Flow.scenarios t);
 
   (* 3. Back half: islands + level shifters for one slicing direction. *)
   let v = Flow.variant t Island.Vertical in
@@ -54,7 +54,7 @@ let () =
     (fun (raised, pos) ->
       let p =
         Power.total_mw
-          (Flow.power_at t ~position:pos (Flow.Islands (v, raised))).Power.total
+          (Flow.power_at t ~position:pos (Flow.Islands (Island.Vertical, raised))).Power.total
       in
       Format.printf "  %d island(s) raised at %s: %.2f mW (%+.1f%% vs chip-wide)@."
         raised pos.Pvtol_variation.Position.label p

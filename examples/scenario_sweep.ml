@@ -13,7 +13,7 @@ module Stage = Pvtol_netlist.Stage
 
 let () =
   let t = Flow.prepare ~config:Flow.quick_config () in
-  Format.printf "clock %.3f ns; sweeping the chip diagonal:@." t.Flow.clock;
+  Format.printf "clock %.3f ns; sweeping the chip diagonal:@." (Flow.clock t);
   Format.printf "%-10s %-9s %-28s %s@." "fraction" "scenario" "violating stages"
     "worst 3-sigma slack (ns)";
   let previous = ref (-1) in
@@ -23,10 +23,10 @@ let () =
       let mc =
         MC.run
           ~config:{ MC.samples = 120; seed = 42 }
-          ~sampler:t.Flow.sampler ~sta:t.Flow.sta ~placement:t.Flow.placement
+          ~sampler:(Flow.sampler t) ~sta:(Flow.sta t) ~placement:(Flow.placement t)
           ~position:pos ()
       in
-      let sc = Scenario.classify ~clock:t.Flow.clock mc in
+      let sc = Scenario.classify ~clock:(Flow.clock t) mc in
       let worst =
         List.fold_left
           (fun acc (s : Scenario.stage_slack) -> Float.min acc s.Scenario.slack)

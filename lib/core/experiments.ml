@@ -1,3 +1,4 @@
+module Sg = Stage
 open Pvtol_netlist
 module Table = Pvtol_util.Table
 module Histo = Pvtol_util.Histo
@@ -14,19 +15,14 @@ module Placement = Pvtol_place.Placement
 module Density = Pvtol_place.Density
 module Geom = Pvtol_util.Geom
 
-type context = {
-  flow : Flow.t;
-  vertical : Flow.variant;
-  horizontal : Flow.variant;
-}
+(* A context is just a flow handle: the stage graph memoizes every
+   intermediate (including both slicing variants), so nothing needs to
+   be precomputed or re-threaded by hand here. *)
+type context = Flow.t
 
-let make_context ?config () =
-  let flow = Flow.prepare ?config () in
-  {
-    flow;
-    vertical = Flow.variant flow Island.Vertical;
-    horizontal = Flow.variant flow Island.Horizontal;
-  }
+let make_context ?config () = Flow.prepare ?config ()
+let vertical t = Flow.variant t Island.Vertical
+let horizontal t = Flow.variant t Island.Horizontal
 
 let heading title =
   let bar = String.make (String.length title) '=' in
@@ -50,7 +46,8 @@ let fig2_lgate_map () =
 (* ------------------------------------------------------------------ *)
 
 let table1_breakdown (t : Flow.t) =
-  let nl = t.Flow.netlist in
+  let nl = Flow.netlist t in
+  let clock = Flow.clock t in
   let power = Flow.power_at t ~position:Position.point_d Flow.Baseline_low in
   let total_area = Netlist.area nl in
   let total_mw = Power.total_mw power.Power.total in
@@ -72,12 +69,12 @@ let table1_breakdown (t : Flow.t) =
           ])
     [ Stage.Reg_file; Stage.Execute; Stage.Decode; Stage.Writeback;
       Stage.Fetch; Stage.Pipe_regs ];
-  let r = Sta.analyze t.Flow.sta ~delays:(Sta.nominal_delays t.Flow.sta) in
+  let r = Flow.nominal t in
   let crit_text =
-    match Paths.critical t.Flow.sta ~delays:(Sta.nominal_delays t.Flow.sta) r with
+    match Paths.critical (Flow.sta t) ~delays:(Sta.nominal_delays (Flow.sta t)) r with
     | Some path ->
       let total_hops = List.length path.Paths.hops in
-      let shares = Paths.stage_share t.Flow.sta path in
+      let shares = Paths.stage_share (Flow.sta t) path in
       String.concat ", "
         (List.filteri (fun i _ -> i < 3) shares
         |> List.map (fun (u, n) ->
@@ -95,22 +92,24 @@ let table1_breakdown (t : Flow.t) =
       \  total power (FIR benchmark): %.2f mW   leakage share: %.2f%%\n\
       \  critical path through: %s\n"
       (Netlist.cell_count nl) (Netlist.net_count nl) total_area
-      (100.0 *. t.Flow.placement.Placement.floorplan.Pvtol_place.Floorplan.utilization)
-      (1000.0 /. t.Flow.clock) t.Flow.clock total_mw
+      (100.0
+      *. (Flow.placement t).Placement.floorplan.Pvtol_place.Floorplan.utilization)
+      (1000.0 /. clock) clock total_mw
       (100.0 *. power.Power.total.Power.leakage_mw /. total_mw)
       crit_text
 
 (* ------------------------------------------------------------------ *)
 
 let fig3_distributions (t : Flow.t) =
-  let mc = t.Flow.mc Position.point_a in
+  let mc = Flow.mc t Position.point_a in
+  let clock = Flow.clock t in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (heading "Fig. 3 — Critical-path slack distribution per stage @ point A");
   List.iter
     (fun (ss : MC.stage_stats) ->
       if ss.MC.stage <> Stage.Fetch then begin
-        let slacks = Array.map (fun d -> t.Flow.clock -. d) ss.MC.samples in
+        let slacks = Array.map (fun d -> clock -. d) ss.MC.samples in
         let s = Stats.summarize slacks in
         Buffer.add_string buf
           (Printf.sprintf
@@ -137,7 +136,8 @@ let fig3_distributions (t : Flow.t) =
 (* ------------------------------------------------------------------ *)
 
 let scenarios_summary (t : Flow.t) =
-  let scenarios = t.Flow.scenarios () in
+  let scenarios = Flow.scenarios t in
+  let clock = Flow.clock t in
   let tbl =
     Table.create
       ~header:[ "Position"; "Scenario"; "Decode"; "Execute"; "Write Back" ]
@@ -164,25 +164,25 @@ let scenarios_summary (t : Flow.t) =
           cell Stage.Writeback;
         ])
     scenarios;
-  let mc_a = t.Flow.mc Position.point_a in
+  let mc_a = Flow.mc t Position.point_a in
   let worst_ex =
     match MC.stage_stats mc_a Stage.Execute with
     | Some ss -> MC.three_sigma_delay ss
-    | None -> t.Flow.clock
+    | None -> clock
   in
   heading "§4.4 — Timing-violation scenarios along the chip diagonal"
   ^ Table.render tbl
   ^ Printf.sprintf
       "\n('!' = 3-sigma violation; slack in ns vs the %.3f ns clock)\n\
        Worst-case frequency degradation @ A: %.1f%% (paper: ~10%%)\n"
-      t.Flow.clock
-      (100.0 *. (worst_ex -. t.Flow.clock) /. t.Flow.clock)
+      clock
+      (100.0 *. (worst_ex -. clock) /. clock)
 
 (* ------------------------------------------------------------------ *)
 
 let razor_sites (t : Flow.t) =
-  let mc = t.Flow.mc Position.point_a in
-  let plan = Sensors.select mc t.Flow.netlist in
+  let mc = Flow.mc t Position.point_a in
+  let plan = Sensors.select mc (Flow.netlist t) in
   let tbl = Table.create ~header:[ "Stage"; "Monitored flops" ] in
   List.iter
     (fun (s, n) -> Table.add_row tbl [ Stage.name s; string_of_int n ])
@@ -218,20 +218,21 @@ let island_text (v : Flow.variant) =
 
 let fig4_islands ctx =
   heading "Fig. 4 — Voltage-island generation"
-  ^ island_text ctx.vertical ^ island_text ctx.horizontal
+  ^ island_text (vertical ctx) ^ island_text (horizontal ctx)
 
 (* ------------------------------------------------------------------ *)
 
 let ls_power_share (t : Flow.t) (v : Flow.variant) ~raised ~position =
-  let report = Flow.power_at t ~position (Flow.Islands (v, raised)) in
+  let report =
+    Flow.power_at t ~position (Flow.Islands (v.Flow.direction, raised))
+  in
   let first = v.Flow.shifted.Level_shifter.first_ls in
   let ls = Power.sum_cells report (fun cid -> cid >= first) in
   Power.total_mw ls /. Power.total_mw report.Power.total
 
 let table2_level_shifters ctx =
-  let t = ctx.flow in
   let tbl = Table.create ~header:[ ""; "Horizontal Slicing"; "Vertical Slicing" ] in
-  let h = ctx.horizontal and v = ctx.vertical in
+  let h = horizontal ctx and v = vertical ctx in
   let row name f = Table.add_row tbl [ name; f h; f v ] in
   row "Number of LS" (fun x ->
       string_of_int x.Flow.shifted.Level_shifter.count);
@@ -240,7 +241,7 @@ let table2_level_shifters ctx =
   List.iter
     (fun (raised, pos, label) ->
       row label (fun x ->
-          Table.pcell (ls_power_share t x ~raised ~position:pos)))
+          Table.pcell (ls_power_share ctx x ~raised ~position:pos)))
     [
       (3, Position.point_a, "LS tot. power (point A)");
       (2, Position.point_b, "LS tot. power (point B)");
@@ -252,20 +253,20 @@ let table2_level_shifters ctx =
 
 (* ------------------------------------------------------------------ *)
 
-let power_configs ctx =
+let power_configs _ctx =
   (* (label, scenario position, configuration) in Fig. 5 order. *)
   [
     ("Chip-wide high Vdd", Position.point_a, Flow.Chip_wide_high);
-    ("3 VI HOR @ A", Position.point_a, Flow.Islands (ctx.horizontal, 3));
-    ("3 VI VER @ A", Position.point_a, Flow.Islands (ctx.vertical, 3));
-    ("2 VI HOR @ B", Position.point_b, Flow.Islands (ctx.horizontal, 2));
-    ("2 VI VER @ B", Position.point_b, Flow.Islands (ctx.vertical, 2));
-    ("1 VI HOR @ C", Position.point_c, Flow.Islands (ctx.horizontal, 1));
-    ("1 VI VER @ C", Position.point_c, Flow.Islands (ctx.vertical, 1));
+    ("3 VI HOR @ A", Position.point_a, Flow.Islands (Island.Horizontal, 3));
+    ("3 VI VER @ A", Position.point_a, Flow.Islands (Island.Vertical, 3));
+    ("2 VI HOR @ B", Position.point_b, Flow.Islands (Island.Horizontal, 2));
+    ("2 VI VER @ B", Position.point_b, Flow.Islands (Island.Vertical, 2));
+    ("1 VI HOR @ C", Position.point_c, Flow.Islands (Island.Horizontal, 1));
+    ("1 VI VER @ C", Position.point_c, Flow.Islands (Island.Vertical, 1));
   ]
 
 let fig5_total_power ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let reference =
     Power.total_mw (Flow.power_at t ~position:Position.point_a Flow.Chip_wide_high).Power.total
   in
@@ -296,7 +297,7 @@ let fig5_total_power ctx =
      design carries no level shifters)\n"
 
 let fig6_leakage ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let leak cfg pos =
     (Flow.power_at t ~position:pos cfg).Power.total.Power.leakage_mw
   in
@@ -322,7 +323,7 @@ let fig6_leakage ctx =
 (* ------------------------------------------------------------------ *)
 
 let energy_note ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let chip =
     Power.total_mw (Flow.power_at t ~position:Position.point_a Flow.Chip_wide_high).Power.total
   in
@@ -331,7 +332,10 @@ let energy_note ctx =
   List.iter
     (fun (v : Flow.variant) ->
       let p =
-        Power.total_mw (Flow.power_at t ~position:Position.point_a (Flow.Islands (v, 3))).Power.total
+        Power.total_mw
+          (Flow.power_at t ~position:Position.point_a
+             (Flow.Islands (v.Flow.direction, 3)))
+            .Power.total
       in
       let slow = 1.0 +. Float.max 0.0 v.Flow.degradation in
       Buffer.add_string buf
@@ -340,7 +344,7 @@ let energy_note ctx =
            (Island.direction_name v.Flow.direction) (p /. chip)
            (100.0 *. (slow -. 1.0))
            (p /. chip *. slow)))
-    [ ctx.vertical; ctx.horizontal ];
+    [ vertical ctx; horizontal ctx ];
   Buffer.add_string buf
     "(energy ratios track the power ratios, as the paper observes)\n";
   Buffer.contents buf
@@ -348,31 +352,32 @@ let energy_note ctx =
 (* ------------------------------------------------------------------ *)
 
 let compensation_check ctx =
-  let t = ctx.flow in
+  let t = ctx in
+  let clock = Flow.clock t in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (heading "Validation — Monte Carlo with islands raised (per scenario)");
   List.iter
     (fun (v : Flow.variant) ->
       let part = v.Flow.slicing.Slicing.partition in
-      let domains = Island.domains part t.Flow.placement in
+      let domains = Island.domains part (Flow.placement t) in
       List.iter
         (fun (raised, pos) ->
           let vdd =
             Island.vdd_assignment part ~domains ~raised
-              ~lib:t.Flow.netlist.Netlist.lib
+              ~lib:(Flow.netlist t).Netlist.lib
           in
           let mc =
             MC.run
-              ~config:{ MC.samples = 150; seed = t.Flow.config.Flow.mc_seed + 9 }
-              ~vdd ~sampler:t.Flow.sampler ~sta:t.Flow.sta
-              ~placement:t.Flow.placement ~position:pos ()
+              ~config:{ MC.samples = 150; seed = (Flow.config t).Flow.mc_seed + 9 }
+              ~vdd ~sampler:(Flow.sampler t) ~sta:(Flow.sta t)
+              ~placement:(Flow.placement t) ~position:pos ()
           in
           let worst_residual =
             List.fold_left
               (fun acc (ss : MC.stage_stats) ->
                 if ss.MC.stage = Stage.Fetch then acc
-                else Float.max acc (MC.three_sigma_delay ss -. t.Flow.clock))
+                else Float.max acc (MC.three_sigma_delay ss -. clock))
               neg_infinity mc.MC.stages
           in
           Buffer.add_string buf
@@ -380,41 +385,42 @@ let compensation_check ctx =
                "  %s %d VI @ %s: worst stage 3-sigma residual %+.3f ns (%s)\n"
                (Island.direction_name v.Flow.direction) raised
                pos.Position.label worst_residual
-               (if worst_residual <= 0.01 *. t.Flow.clock then "compensated"
+               (if worst_residual <= 0.01 *. clock then "compensated"
                 else "NOT compensated")))
         [ (1, Position.point_c); (2, Position.point_b); (3, Position.point_a) ])
-    [ ctx.vertical; ctx.horizontal ];
+    [ vertical ctx; horizontal ctx ];
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 
 let grouping_ablation ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let tbl =
     Table.create
       ~header:
         [ "Strategy"; "High-Vdd cells (VI3)"; "Level shifters"; "Power domains";
           "Power @ 3 raised" ]
   in
-  let process = t.Flow.netlist.Netlist.lib.Pvtol_stdcell.Cell.process in
+  let process = (Flow.netlist t).Netlist.lib.Pvtol_stdcell.Cell.process in
   let low = process.Pvtol_stdcell.Process.vdd_low in
   let high = process.Pvtol_stdcell.Process.vdd_high in
+  ignore low;
   (* Strategy power comparison on the unmodified netlist (no shifters),
      so only the raised-capacitance difference shows. *)
   let power_of domains =
     Power.total_mw
       (Power.analyze
          ~vdd:(fun cid -> if domains.(cid) <= 3 then high else low)
-         ~activity:t.Flow.activity
-         ~wire_length:(fun nid -> Placement.wire_length t.Flow.placement nid)
-         ~clock_ns:t.Flow.clock t.Flow.netlist)
+         ~activity:(Flow.activity t)
+         ~wire_length:(fun nid -> Placement.wire_length (Flow.placement t) nid)
+         ~clock_ns:(Flow.clock t) (Flow.netlist t))
         .Power.total
   in
   let row_of_domains name domains checks =
     let n = Array.length domains in
     let raised3 = Array.fold_left (fun acc d -> if d <= 3 then acc + 1 else acc) 0 domains in
-    let ls = Logic_grouping.count_crossings t.Flow.netlist ~domains in
-    let frag = Logic_grouping.fragmentation t.Flow.placement ~domains ~raised:3 in
+    let ls = Logic_grouping.count_crossings (Flow.netlist t) ~domains in
+    let frag = Logic_grouping.fragmentation (Flow.placement t) ~domains ~raised:3 in
     Table.add_row tbl
       [
         name;
@@ -428,31 +434,23 @@ let grouping_ablation ctx =
   List.iter
     (fun (name, v) ->
       let part = v.Flow.slicing.Slicing.partition in
-      let domains = Island.domains part t.Flow.placement in
+      let domains = Island.domains part (Flow.placement t) in
       row_of_domains name domains v.Flow.slicing.Slicing.checks)
-    [ ("vertical slicing", ctx.vertical); ("horizontal slicing", ctx.horizontal) ];
+    [ ("vertical slicing", vertical ctx); ("horizontal slicing", horizontal ctx) ];
   (* Quadrant growth: the "further cell grouping strategies" future
      work. *)
   (try
-     let q =
-       Slicing.generate ~corner_kappa:t.Flow.config.Flow.corner_kappa
-         ~direction:Island.Quadrant ~sta:t.Flow.sta ~placement:t.Flow.placement
-         ~sampler:t.Flow.sampler ~clock:t.Flow.clock ~targets:Flow.growth_targets ()
-     in
-     let domains = Island.domains q.Slicing.partition t.Flow.placement in
+     let q = Flow.islands t Island.Quadrant in
+     let domains = Island.domains q.Slicing.partition (Flow.placement t) in
      row_of_domains "quadrant growth" domains q.Slicing.checks
-   with Slicing.Infeasible m -> Table.add_row tbl [ "quadrant growth"; "-"; "-"; m ]);
+   with Sg.Stage_error e ->
+     Table.add_row tbl [ "quadrant growth"; "-"; "-"; e.Sg.message ]);
   (* Logic-based selection: the baseline of the paper's reference [12]. *)
-  (try
-     let lg =
-       Logic_grouping.generate ~corner_kappa:t.Flow.config.Flow.corner_kappa
-         ~sta:t.Flow.sta ~placement:t.Flow.placement ~sampler:t.Flow.sampler
-         ~clock:t.Flow.clock ~targets:Flow.growth_targets ()
-     in
-     row_of_domains "logic-based (units)" lg.Logic_grouping.domains
-       lg.Logic_grouping.checks
-   with Logic_grouping.Infeasible m ->
-     Table.add_row tbl [ "logic-based (units)"; "-"; "-"; m ]);
+  (match Flow.logic_grouping t with
+  | Ok lg ->
+    row_of_domains "logic-based (units)" lg.Logic_grouping.domains
+      lg.Logic_grouping.checks
+  | Error m -> Table.add_row tbl [ "logic-based (units)"; "-"; "-"; m ]);
   heading "Ablation — cell-grouping strategy (section 3's argument)"
   ^ Table.render tbl
   ^ "\n('Power domains' counts physically disjoint high-Vdd patches on a\n\
@@ -467,13 +465,15 @@ let grouping_ablation ctx =
      of §3.)\n"
 
 let clock_tree_note ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let module CT = Pvtol_timing.Clock_tree in
-  let flops = Sta.flop_ids t.Flow.sta in
-  let ct = CT.synthesize t.Flow.placement ~flops in
-  let delays = Sta.nominal_delays t.Flow.sta in
-  let r0 = Sta.analyze t.Flow.sta ~delays in
-  let r1 = Sta.analyze ~skew:(CT.skew_of ct) t.Flow.sta ~delays in
+  let sta = Flow.sta t in
+  let clock = Flow.clock t in
+  let flops = Sta.flop_ids sta in
+  let ct = CT.synthesize (Flow.placement t) ~flops in
+  let delays = Sta.nominal_delays sta in
+  let r0 = Flow.nominal t in
+  let r1 = Sta.analyze ~skew:(CT.skew_of ct) sta ~delays in
   heading "Clock-tree synthesis (ideal-clock assumption check)"
   ^ Printf.sprintf
       "  %d flops served by %d buffers over %d levels, %.0f um of clock wire\n\
@@ -484,12 +484,12 @@ let clock_tree_note ctx =
        critical path by well under the variation effects under study)\n"
       (Array.length flops) ct.CT.n_buffers ct.CT.levels ct.CT.wirelength
       ct.CT.skew
-      (100.0 *. ct.CT.skew /. t.Flow.clock)
-      t.Flow.clock r0.Sta.worst r1.Sta.worst
+      (100.0 *. ct.CT.skew /. clock)
+      clock r0.Sta.worst r1.Sta.worst
       (100.0 *. (r1.Sta.worst -. r0.Sta.worst) /. r0.Sta.worst)
 
 let ssta_crosscheck ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let module An = Pvtol_ssta.Analytic in
   let tbl =
     Table.create
@@ -499,12 +499,13 @@ let ssta_crosscheck ctx =
   in
   List.iter
     (fun pos ->
-      let mc = t.Flow.mc pos in
+      let mc = Flow.mc t pos in
       let systematic =
-        Pvtol_variation.Sampler.systematic_lgates t.Flow.sampler t.Flow.placement pos
+        Pvtol_variation.Sampler.systematic_lgates (Flow.sampler t)
+          (Flow.placement t) pos
       in
       let an =
-        An.analyze ~sta:t.Flow.sta ~sampler:t.Flow.sampler ~systematic ()
+        An.analyze ~sta:(Flow.sta t) ~sampler:(Flow.sampler t) ~systematic ()
       in
       List.iter
         (fun s ->
@@ -529,9 +530,10 @@ let ssta_crosscheck ctx =
      faster than a full Monte Carlo would)\n"
 
 let alternatives_comparison ctx =
-  let t = ctx.flow in
-  let process = t.Flow.netlist.Netlist.lib.Pvtol_stdcell.Cell.process in
-  let mc = t.Flow.mc Position.point_a in
+  let t = ctx in
+  let clock = Flow.clock t in
+  let process = (Flow.netlist t).Netlist.lib.Pvtol_stdcell.Cell.process in
+  let mc = Flow.mc t Position.point_a in
   let three_sigma s =
     Option.map MC.three_sigma_delay (MC.stage_stats mc s)
   in
@@ -547,13 +549,14 @@ let alternatives_comparison ctx =
     Power.total_mw (Flow.power_at t Flow.Chip_wide_high).Power.total
   in
   let p_vi =
-    Power.total_mw (Flow.power_at t (Flow.Islands (ctx.vertical, 3))).Power.total
+    Power.total_mw
+      (Flow.power_at t (Flow.Islands (Island.Vertical, 3))).Power.total
   in
   (* Clock-skew retiming: optimal skews against each die's 3-sigma
      stage delays. *)
   let retime = Retiming.bound ~delay_of:three_sigma in
   (* Adaptive body bias matching the chip-wide AVS speed-up. *)
-  let speedup = worst /. t.Flow.clock in
+  let speedup = worst /. clock in
   let abb_text =
     try
       let vbb = Pvtol_stdcell.Process.abb_for_speedup process ~speedup in
@@ -575,13 +578,13 @@ let alternatives_comparison ctx =
   heading "§1 — compensation alternatives at the worst-case die (point A)"
   ^ Printf.sprintf
       "nominal clock %.3f ns; 3-sigma worst stage delay %.3f ns (%.1f%% slow)\n\n"
-      t.Flow.clock worst (100.0 *. (speedup -. 1.0))
+      clock worst (100.0 *. (speedup -. 1.0))
   ^ Printf.sprintf
       "  guard-banding        f = %.1f%% of nominal   %.2f mW  (margins added at design time)\n"
       (100.0 /. speedup) p_low
   ^ Printf.sprintf
       "  skew retiming        f = %.1f%% of nominal   %.2f mW  (binding loop: %s)\n"
-      (100.0 *. t.Flow.clock /. retime.Retiming.t_retimed)
+      (100.0 *. clock /. retime.Retiming.t_retimed)
       p_low
       (String.concat "->" (List.map Stage.name retime.Retiming.binding_loop))
   ^ Printf.sprintf "  chip-wide AVS        f = 100%%   %.2f mW\n" p_chip
@@ -595,7 +598,7 @@ let alternatives_comparison ctx =
      overhead for not raising the whole chip.\n"
 
 let routing_note ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let module Router = Pvtol_place.Router in
   let tbl =
     Table.create
@@ -616,16 +619,16 @@ let routing_note ctx =
       ];
     r
   in
-  let base = row "placed (pre-LS)" t.Flow.placement in
+  let base = row "placed (pre-LS)" (Flow.placement t) in
   let _shifted =
     row "with level shifters (vertical)"
-      ctx.vertical.Flow.shifted.Level_shifter.placement
+      (vertical ctx).Flow.shifted.Level_shifter.placement
   in
   (* Timing with routed lengths instead of the corrected-HPWL estimate. *)
   let sta_routed =
-    Sta.build t.Flow.netlist
+    Sta.build (Flow.netlist t)
       ~wire_length:(Router.wire_length base)
-      ~capture:t.Flow.design.Pvtol_vex.Vex_core.capture_stage
+      ~capture:(Flow.design t).Pvtol_vex.Vex_core.capture_stage
   in
   let r = Sta.analyze sta_routed ~delays:(Sta.nominal_delays sta_routed) in
   heading "Extension — global routing (estimate vs routed)"
@@ -633,22 +636,23 @@ let routing_note ctx =
   ^ Printf.sprintf
       "\nNominal worst path with routed wire lengths: %.3f ns vs %.3f ns \
        estimated (%+.1f%%).\n"
-      r.Sta.worst t.Flow.clock
-      (100.0 *. (r.Sta.worst -. t.Flow.clock) /. t.Flow.clock)
+      r.Sta.worst (Flow.clock t)
+      (100.0 *. (r.Sta.worst -. Flow.clock t) /. Flow.clock t)
 
 let power_integrity ctx =
-  let t = ctx.flow in
+  let t = ctx in
   let high =
-    t.Flow.netlist.Netlist.lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_high
+    (Flow.netlist t).Netlist.lib.Pvtol_stdcell.Cell.process
+      .Pvtol_stdcell.Process.vdd_high
   in
   (* Per-cell current draw at the worst-case (all-raised) configuration,
      on the unmodified netlist so every strategy sees the same load. *)
   let report =
     Power.analyze
       ~vdd:(fun _ -> high)
-      ~activity:t.Flow.activity
-      ~wire_length:(fun nid -> Placement.wire_length t.Flow.placement nid)
-      ~clock_ns:t.Flow.clock t.Flow.netlist
+      ~activity:(Flow.activity t)
+      ~wire_length:(fun nid -> Placement.wire_length (Flow.placement t) nid)
+      ~clock_ns:(Flow.clock t) (Flow.netlist t)
   in
   let current_ma cid =
     Power.total_mw report.Power.per_cell.(cid) /. high
@@ -659,10 +663,10 @@ let power_integrity ctx =
         [ "High-Vdd domain (3 raised)"; "Cells"; "Rail bins"; "Pad bins";
           "Max IR drop"; "Unreachable" ]
   in
-  let n_cells = Netlist.cell_count t.Flow.netlist in
+  let n_cells = Netlist.cell_count (Flow.netlist t) in
   let row name member =
     let r =
-      Power_grid.analyze ~placement:t.Flow.placement ~member ~current_ma
+      Power_grid.analyze ~placement:(Flow.placement t) ~member ~current_ma
         ~vdd:high ()
     in
     let members = ref 0 in
@@ -682,18 +686,14 @@ let power_integrity ctx =
   List.iter
     (fun (name, v) ->
       let domains =
-        Island.domains v.Flow.slicing.Slicing.partition t.Flow.placement
+        Island.domains v.Flow.slicing.Slicing.partition (Flow.placement t)
       in
       row name (fun cid -> domains.(cid) <= 3))
-    [ ("vertical slicing", ctx.vertical); ("horizontal slicing", ctx.horizontal) ];
-  (try
-     let lg =
-       Logic_grouping.generate ~corner_kappa:t.Flow.config.Flow.corner_kappa
-         ~sta:t.Flow.sta ~placement:t.Flow.placement ~sampler:t.Flow.sampler
-         ~clock:t.Flow.clock ~targets:Flow.growth_targets ()
-     in
-     row "logic-based (units)" (fun cid -> lg.Logic_grouping.domains.(cid) <= 3)
-   with Logic_grouping.Infeasible _ -> ());
+    [ ("vertical slicing", vertical ctx); ("horizontal slicing", horizontal ctx) ];
+  (match Flow.logic_grouping t with
+  | Ok lg ->
+    row "logic-based (units)" (fun cid -> lg.Logic_grouping.domains.(cid) <= 3)
+  | Error _ -> ());
   (* A deliberately scattered sparse selection, as a bound: few cells,
      yet rails must reach almost every bin. *)
   row "scattered (synthetic)" (fun cid -> cid mod 7 = 0);
@@ -706,12 +706,12 @@ let power_integrity ctx =
      touch the boundary everywhere — §4.5's reason for slice shapes)\n"
 
 let workload_sensitivity ctx =
-  let t = ctx.flow in
-  let v = ctx.vertical in
+  let t = ctx in
+  let v = vertical ctx in
   let shifted = v.Flow.shifted in
   let module Workloads = Pvtol_vexsim.Workloads in
   let module Gatesim = Pvtol_power.Gatesim in
-  let cycles = max 64 (t.Flow.config.Flow.gatesim_cycles / 2) in
+  let cycles = max 64 ((Flow.config t).Flow.gatesim_cycles / 2) in
   let tbl =
     Table.create
       ~header:
@@ -724,18 +724,18 @@ let workload_sensitivity ctx =
       let activity_of nl =
         let stim, _ =
           Gatesim.trace_stimulus nl ~instr_prefix:"instr" ~words:w.Workloads.trace
-            ~fallback:(Gatesim.random_stimulus ~seed:(t.Flow.config.Flow.mc_seed + 1))
+            ~fallback:(Gatesim.random_stimulus ~seed:((Flow.config t).Flow.mc_seed + 1))
         in
         Gatesim.run ~cycles nl stim
       in
-      let act_base = activity_of t.Flow.netlist in
+      let act_base = activity_of (Flow.netlist t) in
       let act_shifted = activity_of shifted.Level_shifter.netlist in
       let systematic =
-        Pvtol_variation.Sampler.systematic_lgates t.Flow.sampler t.Flow.placement
-          Position.point_c
+        Pvtol_variation.Sampler.systematic_lgates (Flow.sampler t)
+          (Flow.placement t) Position.point_c
       in
       let high =
-        t.Flow.netlist.Netlist.lib.Pvtol_stdcell.Cell.process
+        (Flow.netlist t).Netlist.lib.Pvtol_stdcell.Cell.process
           .Pvtol_stdcell.Process.vdd_high
       in
       let chip =
@@ -744,12 +744,12 @@ let workload_sensitivity ctx =
              ~lgate_nm:(fun i -> systematic.(i))
              ~vdd:(fun _ -> high)
              ~activity:act_base
-             ~wire_length:(fun nid -> Placement.wire_length t.Flow.placement nid)
-             ~clock_ns:t.Flow.clock t.Flow.netlist)
+             ~wire_length:(fun nid -> Placement.wire_length (Flow.placement t) nid)
+             ~clock_ns:(Flow.clock t) (Flow.netlist t))
             .Power.total
       in
       let systematic_sh =
-        Pvtol_variation.Sampler.systematic_lgates t.Flow.sampler
+        Pvtol_variation.Sampler.systematic_lgates (Flow.sampler t)
           shifted.Level_shifter.placement Position.point_c
       in
       let vi =
@@ -760,7 +760,7 @@ let workload_sensitivity ctx =
              ~activity:act_shifted
              ~wire_length:(fun nid ->
                Placement.wire_length shifted.Level_shifter.placement nid)
-             ~clock_ns:t.Flow.clock shifted.Level_shifter.netlist)
+             ~clock_ns:(Flow.clock t) shifted.Level_shifter.netlist)
             .Power.total
       in
       Table.add_row tbl
@@ -782,7 +782,7 @@ let workload_sensitivity ctx =
      island scheme, streaming ones with idle datapaths favour neither)\n"
 
 let postsilicon_study ctx =
-  let s = Postsilicon.run ctx.flow ctx.vertical in
+  let s = Postsilicon.run ctx (vertical ctx) in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (heading "Extension — post-silicon detect-and-compensate across dies");
@@ -798,16 +798,16 @@ let postsilicon_study ctx =
   Buffer.contents buf
 
 let all ctx =
-  (* Warm the Monte-Carlo memo for all four die positions as parallel
+  (* Warm the Monte-Carlo stage for all four die positions as parallel
      tasks before the exhibits (fig3, scenarios, razor, ...) read it. *)
-  ignore (ctx.flow.Flow.mc_all ());
+  ignore (Flow.mc_all ctx);
   String.concat "\n"
     [
       fig2_lgate_map ();
-      table1_breakdown ctx.flow;
-      fig3_distributions ctx.flow;
-      scenarios_summary ctx.flow;
-      razor_sites ctx.flow;
+      table1_breakdown ctx;
+      fig3_distributions ctx;
+      scenarios_summary ctx;
+      razor_sites ctx;
       fig4_islands ctx;
       table2_level_shifters ctx;
       fig5_total_power ctx;

@@ -2,17 +2,16 @@
     evaluation.  Every function renders the same rows/series the paper
     reports (see EXPERIMENTS.md for the side-by-side comparison).
 
-    [context] bundles the prepared flow with both slicing variants so
-    the expensive work runs once per process; all experiment functions
-    are pure renderings over it. *)
+    A [context] is simply a {!Flow.t} handle: the stage graph memoizes
+    every intermediate (placement, STA, Monte Carlo per position, both
+    slicing variants, power per configuration), so each exhibit forces
+    only what it reads and the expensive work runs once per handle no
+    matter how many exhibits are rendered. *)
 
-type context = {
-  flow : Flow.t;
-  vertical : Flow.variant;
-  horizontal : Flow.variant;
-}
+type context = Flow.t
 
 val make_context : ?config:Flow.config -> unit -> context
+(** [Flow.prepare]: cheap, declares the stage graph only. *)
 
 (** {2 Individual experiments} *)
 
@@ -109,4 +108,5 @@ val postsilicon_study : context -> string
     (the deployment story of §1, evaluated end to end). *)
 
 val all : context -> string
-(** Every exhibit in paper order. *)
+(** Every exhibit in paper order (warms the Monte-Carlo stage for all
+    die positions on the domain pool first). *)

@@ -1,3 +1,10 @@
+(* Stage-graph implementation of the end-to-end methodology flow.  The
+   [Sg] alias must be taken before [open Pvtol_netlist], which shadows
+   the sibling [Stage] (the stage-graph combinators) with the pipeline
+   stage enum. *)
+module Sg = Stage
+module Trace = Pvtol_util.Trace
+module Pool = Pvtol_util.Pool
 open Pvtol_netlist
 module Vex_core = Pvtol_vex.Vex_core
 module Floorplan = Pvtol_place.Floorplan
@@ -56,119 +63,6 @@ let quick_config =
     fir_samples = 16;
   }
 
-type t = {
-  config : config;
-  design : Vex_core.t;
-  netlist : Netlist.t;
-  placement : Placement.t;
-  sta : Sta.t;
-  clock : float;
-  sizing : Sizing.report;
-  sampler : Sampler.t;
-  fir : Fir.result;
-  activity : Gatesim.activity;
-  mc : Position.t -> MC.result;
-  mc_all : unit -> (Position.t * MC.result) list;
-  scenarios : unit -> Scenario.t list;
-}
-
-let prepare ?(config = default_config) () =
-  let design = Vex_core.build config.vex in
-  let nl0 = design.Vex_core.netlist in
-  let fp =
-    Floorplan.create ~utilization:config.utilization
-      ~cell_area:(Netlist.area nl0) ()
-  in
-  let placement0 =
-    Placer.place ~iterations:config.place_iterations ~seed:config.place_seed
-      nl0 fp
-  in
-  let wire nid = Placement.wire_length placement0 nid in
-  let capture = design.Vex_core.capture_stage in
-  let sta0 = Sta.build nl0 ~wire_length:wire ~capture in
-  let r0 = Sta.analyze sta0 ~delays:(Sta.nominal_delays sta0) in
-  let initial_clock =
-    match Sta.stage_delay r0 Stage.Execute with
-    | Some d -> d
-    | None -> r0.Sta.worst
-  in
-  let sizing =
-    Sizing.fit ~clock:initial_clock ~frac:Sizing.balanced_fracs
-      ~wire_length:wire ~capture nl0
-  in
-  let netlist = sizing.Sizing.netlist in
-  let placement = { placement0 with Placement.netlist } in
-  let sta = Sta.build netlist ~wire_length:wire ~capture in
-  let r = Sta.analyze sta ~delays:(Sta.nominal_delays sta) in
-  (* The nominal clock is set by the execute-stage critical path, which
-     determines fmax (256 MHz in the paper's testbed). *)
-  let clock =
-    match Sta.stage_delay r Stage.Execute with
-    | Some d -> d
-    | None -> r.Sta.worst
-  in
-  let sampler = Sampler.create () in
-  let fir = Fir.run ~taps:config.fir_taps ~samples:config.fir_samples () in
-  let stim, _ =
-    Gatesim.trace_stimulus netlist ~instr_prefix:"instr"
-      ~words:fir.Fir.trace
-      ~fallback:(Gatesim.random_stimulus ~seed:(config.mc_seed + 1))
-  in
-  let activity = Gatesim.run ~cycles:config.gatesim_cycles netlist stim in
-  let mc_cache : (string, MC.result) Hashtbl.t = Hashtbl.create 8 in
-  let run_mc position =
-    MC.run
-      ~config:{ MC.samples = config.mc_samples; seed = config.mc_seed }
-      ~sampler ~sta ~placement ~position ()
-  in
-  let mc position =
-    let key = position.Position.label in
-    match Hashtbl.find_opt mc_cache key with
-    | Some r -> r
-    | None ->
-      let r = run_mc position in
-      Hashtbl.replace mc_cache key r;
-      r
-  in
-  (* All four die positions as parallel tasks; each task's own MC
-     fan-out then runs serially inside its worker (the pool's nested-use
-     guard), so this trades chunk-level for position-level parallelism
-     with bit-identical results.  The cache is only touched from the
-     calling domain. *)
-  let mc_all () =
-    let missing =
-      List.filter
-        (fun (p : Position.t) -> not (Hashtbl.mem mc_cache p.Position.label))
-        Position.named
-      |> Array.of_list
-    in
-    if Array.length missing > 0 then begin
-      let results = Pvtol_util.Pool.map (Pvtol_util.Pool.shared ()) ~f:run_mc missing in
-      Array.iteri
-        (fun i r -> Hashtbl.replace mc_cache missing.(i).Position.label r)
-        results
-    end;
-    List.map (fun pos -> (pos, mc pos)) Position.named
-  in
-  let scenarios () =
-    List.map (fun (_, r) -> Scenario.classify ~clock r) (mc_all ())
-  in
-  {
-    config;
-    design;
-    netlist;
-    placement;
-    sta;
-    clock;
-    sizing;
-    sampler;
-    fir;
-    activity;
-    mc;
-    mc_all;
-    scenarios;
-  }
-
 type variant = {
   direction : Island.direction;
   slicing : Slicing.outcome;
@@ -177,6 +71,39 @@ type variant = {
   post_ls_worst : float;
   degradation : float;
   activity_shifted : Gatesim.activity;
+}
+
+type supply_config =
+  | Baseline_low
+  | Chip_wide_high
+  | Islands of Island.direction * int
+
+let supply_label = function
+  | Baseline_low -> "low"
+  | Chip_wide_high -> "high"
+  | Islands (dir, raised) ->
+    Printf.sprintf "islands-%s-%d" (Island.direction_name dir) raised
+
+type t = {
+  config : config;
+  graph : Sg.graph;
+  design_n : Vex_core.t Sg.node;
+  placement0_n : Placement.t Sg.node;
+  sizing_n : Sizing.report Sg.node;
+  netlist_n : Netlist.t Sg.node;
+  placement_n : Placement.t Sg.node;
+  sta_n : Sta.t Sg.node;
+  nominal_n : Sta.result Sg.node;
+  clock_n : float Sg.node;
+  sampler_n : Sampler.t Sg.node;
+  fir_n : Fir.result Sg.node;
+  activity_n : Gatesim.activity Sg.node;
+  mc_k : (Position.t, MC.result) Sg.keyed;
+  scenarios_n : Scenario.t list Sg.node;
+  islands_k : (Island.direction, Slicing.outcome) Sg.keyed;
+  variant_k : (Island.direction, variant) Sg.keyed;
+  logic_grouping_n : (Logic_grouping.t, string) result Sg.node;
+  power_k : (supply_config * Position.t, Power.report) Sg.keyed;
 }
 
 (* Targets for island growth, least severe first: island 1 compensates
@@ -189,91 +116,288 @@ let growth_targets =
     { Slicing.scenario_index = 3; position = Position.point_a };
   ]
 
-let variant t direction =
-  let slicing =
-    Slicing.generate ~corner_kappa:t.config.corner_kappa ~direction ~sta:t.sta
-      ~placement:t.placement ~sampler:t.sampler ~clock:t.clock
-      ~targets:growth_targets ()
+let prepare ?(config = default_config) () =
+  let g = Sg.create () in
+  let design_n =
+    Sg.node g ~name:"design" (fun () -> Vex_core.build config.vex)
   in
-  let shifted =
-    Level_shifter.insert slicing.Slicing.partition t.placement t.netlist
+  let placement0_n =
+    Sg.node g ~name:"placement" ~deps:[ "design" ] (fun () ->
+        let design = Sg.get design_n in
+        let nl0 = design.Vex_core.netlist in
+        let fp =
+          Floorplan.create ~utilization:config.utilization
+            ~cell_area:(Netlist.area nl0) ()
+        in
+        Placer.place ~iterations:config.place_iterations
+          ~seed:config.place_seed nl0 fp)
   in
-  let wire nid = Placement.wire_length shifted.Level_shifter.placement nid in
-  let capture = t.design.Vex_core.capture_stage in
-  (* Fig. 1's final step: incremental placement (done inside the
-     insertion) and timing closure — upsizing recovers the paths that
-     shifter insertion and cell displacement stretched.  Residual
-     violation shows up as the paper's post-insertion performance
-     degradation (8% vertical / 15% horizontal in their testbed). *)
-  let closure =
-    Pvtol_timing.Sizing.close_timing ~frac:Pvtol_timing.Sizing.balanced_fracs
-      ~clock:(t.clock *. 1.08) ~wire_length:wire ~capture
-      shifted.Level_shifter.netlist
+  (* Wire-length estimates and the capture-stage map are shared by every
+     timing stage; both resolve their stage-graph inputs lazily. *)
+  let wire nid = Placement.wire_length (Sg.get placement0_n) nid in
+  let capture cell = (Sg.get design_n).Vex_core.capture_stage cell in
+  let sizing_n =
+    Sg.node g ~name:"sizing" ~deps:[ "design"; "placement" ] (fun () ->
+        let nl0 = (Sg.get design_n).Vex_core.netlist in
+        let sta0 = Sta.build nl0 ~wire_length:wire ~capture in
+        let r0 = Sta.analyze sta0 ~delays:(Sta.nominal_delays sta0) in
+        let initial_clock =
+          match Sta.stage_delay r0 Stage.Execute with
+          | Some d -> d
+          | None -> r0.Sta.worst
+        in
+        Sizing.fit ~clock:initial_clock ~frac:Sizing.balanced_fracs
+          ~wire_length:wire ~capture nl0)
   in
-  let shifted =
-    { shifted with Level_shifter.netlist = closure.Pvtol_timing.Sizing.netlist }
+  let netlist_n =
+    Sg.node g ~name:"netlist" ~deps:[ "sizing" ] (fun () ->
+        (Sg.get sizing_n).Sizing.netlist)
   in
-  let shifted =
-    {
-      shifted with
-      Level_shifter.placement =
+  let placement_n =
+    Sg.node g ~name:"placed" ~deps:[ "placement"; "netlist" ] (fun () ->
+        { (Sg.get placement0_n) with Placement.netlist = Sg.get netlist_n })
+  in
+  let sta_n =
+    Sg.node g ~name:"sta" ~deps:[ "netlist"; "placement"; "design" ] (fun () ->
+        Sta.build (Sg.get netlist_n) ~wire_length:wire ~capture)
+  in
+  let nominal_n =
+    Sg.node g ~name:"timing" ~deps:[ "sta" ] (fun () ->
+        let sta = Sg.get sta_n in
+        Sta.analyze sta ~delays:(Sta.nominal_delays sta))
+  in
+  (* The nominal clock is set by the execute-stage critical path, which
+     determines fmax (256 MHz in the paper's testbed). *)
+  let clock_n =
+    Sg.node g ~name:"clock" ~deps:[ "timing" ] (fun () ->
+        let r = Sg.get nominal_n in
+        match Sta.stage_delay r Stage.Execute with
+        | Some d -> d
+        | None -> r.Sta.worst)
+  in
+  let sampler_n = Sg.node g ~name:"sampler" (fun () -> Sampler.create ()) in
+  let fir_n =
+    Sg.node g ~name:"fir" (fun () ->
+        Fir.run ~taps:config.fir_taps ~samples:config.fir_samples ())
+  in
+  let activity_n =
+    Sg.node g ~name:"activity" ~deps:[ "netlist"; "fir" ] (fun () ->
+        let netlist = Sg.get netlist_n in
+        let stim, _ =
+          Gatesim.trace_stimulus netlist ~instr_prefix:"instr"
+            ~words:(Sg.get fir_n).Fir.trace
+            ~fallback:(Gatesim.random_stimulus ~seed:(config.mc_seed + 1))
+        in
+        Gatesim.run ~cycles:config.gatesim_cycles netlist stim)
+  in
+  let mc_k =
+    Sg.keyed g ~name:"mc"
+      ~deps:(fun _ -> [ "sta"; "placed"; "sampler" ])
+      ~key_label:(fun (p : Position.t) -> p.Position.label)
+      (fun position ->
+        MC.run
+          ~config:{ MC.samples = config.mc_samples; seed = config.mc_seed }
+          ~sampler:(Sg.get sampler_n) ~sta:(Sg.get sta_n)
+          ~placement:(Sg.get placement_n) ~position ())
+  in
+  (* All four die positions as parallel tasks; each task's own MC
+     fan-out then runs serially inside its worker (the pool's nested-use
+     guard), so this trades chunk-level for position-level parallelism
+     with bit-identical results.  Already-memoized positions return
+     instantly inside their task. *)
+  let mc_all () =
+    Pool.map (Pool.shared ())
+      ~f:(fun p -> (p, Sg.get_keyed mc_k p))
+      (Array.of_list Position.named)
+    |> Array.to_list
+  in
+  let scenarios_n =
+    Sg.node g ~name:"scenarios" ~deps:[ "clock"; "mc" ] (fun () ->
+        let clock = Sg.get clock_n in
+        List.map (fun (_, r) -> Scenario.classify ~clock r) (mc_all ()))
+  in
+  let islands_k =
+    Sg.keyed g ~name:"islands"
+      ~deps:(fun _ -> [ "sta"; "placed"; "sampler"; "clock" ])
+      ~key_label:Island.direction_name
+      (fun direction ->
+        Slicing.generate ~corner_kappa:config.corner_kappa ~direction
+          ~sta:(Sg.get sta_n) ~placement:(Sg.get placement_n)
+          ~sampler:(Sg.get sampler_n) ~clock:(Sg.get clock_n)
+          ~targets:growth_targets ())
+  in
+  let variant_k =
+    Sg.keyed g ~name:"shifters"
+      ~deps:(fun d ->
+        [ "islands[" ^ Island.direction_name d ^ "]"; "netlist"; "placed";
+          "clock"; "fir" ])
+      ~key_label:Island.direction_name
+      (fun direction ->
+        let slicing = Sg.get_keyed islands_k direction in
+        let netlist = Sg.get netlist_n in
+        let placement = Sg.get placement_n in
+        let clock = Sg.get clock_n in
+        let shifted =
+          Level_shifter.insert slicing.Slicing.partition placement netlist
+        in
+        let wire nid =
+          Placement.wire_length shifted.Level_shifter.placement nid
+        in
+        (* Fig. 1's final step: incremental placement (done inside the
+           insertion) and timing closure — upsizing recovers the paths
+           that shifter insertion and cell displacement stretched.
+           Residual violation shows up as the paper's post-insertion
+           performance degradation (8% vertical / 15% horizontal in
+           their testbed). *)
+        let closure =
+          Sizing.close_timing ~frac:Sizing.balanced_fracs
+            ~clock:(clock *. 1.08) ~wire_length:wire ~capture
+            shifted.Level_shifter.netlist
+        in
+        let shifted =
+          { shifted with Level_shifter.netlist = closure.Sizing.netlist }
+        in
+        let shifted =
+          {
+            shifted with
+            Level_shifter.placement =
+              {
+                shifted.Level_shifter.placement with
+                Placement.netlist = shifted.Level_shifter.netlist;
+              };
+          }
+        in
+        let sta_shifted =
+          Sta.build shifted.Level_shifter.netlist ~wire_length:wire ~capture
+        in
+        let r =
+          Sta.analyze sta_shifted ~delays:(Sta.nominal_delays sta_shifted)
+        in
+        let stim, _ =
+          Gatesim.trace_stimulus shifted.Level_shifter.netlist
+            ~instr_prefix:"instr" ~words:(Sg.get fir_n).Fir.trace
+            ~fallback:(Gatesim.random_stimulus ~seed:(config.mc_seed + 1))
+        in
+        let activity_shifted =
+          Gatesim.run ~cycles:config.gatesim_cycles
+            shifted.Level_shifter.netlist stim
+        in
         {
-          shifted.Level_shifter.placement with
-          Placement.netlist = shifted.Level_shifter.netlist;
-        };
-    }
+          direction;
+          slicing;
+          shifted;
+          sta_shifted;
+          post_ls_worst = r.Sta.worst;
+          degradation = (r.Sta.worst -. clock) /. clock;
+          activity_shifted;
+        })
   in
-  let sta_shifted =
-    Sta.build shifted.Level_shifter.netlist ~wire_length:wire ~capture
+  let logic_grouping_n =
+    Sg.node g ~name:"logic_grouping"
+      ~deps:[ "sta"; "placed"; "sampler"; "clock" ] (fun () ->
+        try
+          Ok
+            (Logic_grouping.generate ~corner_kappa:config.corner_kappa
+               ~sta:(Sg.get sta_n) ~placement:(Sg.get placement_n)
+               ~sampler:(Sg.get sampler_n) ~clock:(Sg.get clock_n)
+               ~targets:growth_targets ())
+        with Logic_grouping.Infeasible m -> Error m)
   in
-  let r = Sta.analyze sta_shifted ~delays:(Sta.nominal_delays sta_shifted) in
-  let stim, _ =
-    Gatesim.trace_stimulus shifted.Level_shifter.netlist ~instr_prefix:"instr"
-      ~words:t.fir.Fir.trace
-      ~fallback:(Gatesim.random_stimulus ~seed:(t.config.mc_seed + 1))
-  in
-  let activity_shifted =
-    Gatesim.run ~cycles:t.config.gatesim_cycles shifted.Level_shifter.netlist stim
+  let power_k =
+    Sg.keyed g ~name:"power"
+      ~deps:(fun (cfg, _) ->
+        match cfg with
+        | Baseline_low | Chip_wide_high ->
+          [ "netlist"; "placed"; "sampler"; "activity"; "clock" ]
+        | Islands (dir, _) ->
+          [ "shifters[" ^ Island.direction_name dir ^ "]"; "sampler"; "clock" ])
+      ~key_label:(fun (cfg, (pos : Position.t)) ->
+        supply_label cfg ^ "@" ^ pos.Position.label)
+      (fun (cfg, position) ->
+        let netlist = Sg.get netlist_n in
+        let clock = Sg.get clock_n in
+        let sampler = Sg.get sampler_n in
+        let process = netlist.Netlist.lib.Pvtol_stdcell.Cell.process in
+        let low = process.Pvtol_stdcell.Process.vdd_low in
+        let high = process.Pvtol_stdcell.Process.vdd_high in
+        match cfg with
+        | Baseline_low | Chip_wide_high ->
+          let v = match cfg with Baseline_low -> low | _ -> high in
+          let placement = Sg.get placement_n in
+          let systematic =
+            Sampler.systematic_lgates sampler placement position
+          in
+          Power.analyze
+            ~lgate_nm:(fun i -> systematic.(i))
+            ~vdd:(fun _ -> v)
+            ~activity:(Sg.get activity_n)
+            ~wire_length:(fun nid -> Placement.wire_length placement nid)
+            ~clock_ns:clock netlist
+        | Islands (dir, raised) ->
+          let v = Sg.get_keyed variant_k dir in
+          let shifted = v.shifted in
+          let systematic =
+            Sampler.systematic_lgates sampler
+              shifted.Level_shifter.placement position
+          in
+          Power.analyze
+            ~lgate_nm:(fun i -> systematic.(i))
+            ~vdd:(fun cid -> Level_shifter.vdd_assignment shifted ~raised cid)
+            ~activity:v.activity_shifted
+            ~wire_length:(fun nid ->
+              Placement.wire_length shifted.Level_shifter.placement nid)
+            ~clock_ns:clock shifted.Level_shifter.netlist)
   in
   {
-    direction;
-    slicing;
-    shifted;
-    sta_shifted;
-    post_ls_worst = r.Sta.worst;
-    degradation = (r.Sta.worst -. t.clock) /. t.clock;
-    activity_shifted;
+    config;
+    graph = g;
+    design_n;
+    placement0_n;
+    sizing_n;
+    netlist_n;
+    placement_n;
+    sta_n;
+    nominal_n;
+    clock_n;
+    sampler_n;
+    fir_n;
+    activity_n;
+    mc_k;
+    scenarios_n;
+    islands_k;
+    variant_k;
+    logic_grouping_n;
+    power_k;
   }
 
-type supply_config =
-  | Baseline_low
-  | Chip_wide_high
-  | Islands of variant * int
+(* ------------------------------------------------------------------ *)
+(* Accessors: force the stage (memoized) and return its value.         *)
 
-let power_at t ?(position = Position.point_a) config =
-  let process = t.netlist.Netlist.lib.Pvtol_stdcell.Cell.process in
-  let low = process.Pvtol_stdcell.Process.vdd_low in
-  let high = process.Pvtol_stdcell.Process.vdd_high in
-  match config with
-  | Baseline_low | Chip_wide_high ->
-    let v = match config with Baseline_low -> low | _ -> high in
-    let systematic = Sampler.systematic_lgates t.sampler t.placement position in
-    Power.analyze
-      ~lgate_nm:(fun i -> systematic.(i))
-      ~vdd:(fun _ -> v)
-      ~activity:t.activity
-      ~wire_length:(fun nid -> Placement.wire_length t.placement nid)
-      ~clock_ns:t.clock t.netlist
-  | Islands (v, raised) ->
-    let shifted = v.shifted in
-    let systematic =
-      Sampler.systematic_lgates t.sampler shifted.Level_shifter.placement
-        position
-    in
-    Power.analyze
-      ~lgate_nm:(fun i -> systematic.(i))
-      ~vdd:(fun cid -> Level_shifter.vdd_assignment shifted ~raised cid)
-      ~activity:v.activity_shifted
-      ~wire_length:(fun nid ->
-        Placement.wire_length shifted.Level_shifter.placement nid)
-      ~clock_ns:t.clock shifted.Level_shifter.netlist
+let config t = t.config
+let graph t = t.graph
+let trace t = Sg.trace t.graph
+let design t = Sg.get t.design_n
+let netlist t = Sg.get t.netlist_n
+let placement t = Sg.get t.placement_n
+let sta t = Sg.get t.sta_n
+let nominal t = Sg.get t.nominal_n
+let clock t = Sg.get t.clock_n
+let sizing t = Sg.get t.sizing_n
+let sampler t = Sg.get t.sampler_n
+let fir t = Sg.get t.fir_n
+let activity t = Sg.get t.activity_n
+let mc t position = Sg.get_keyed t.mc_k position
+
+let mc_all t =
+  Pool.map (Pool.shared ())
+    ~f:(fun p -> (p, Sg.get_keyed t.mc_k p))
+    (Array.of_list Position.named)
+  |> Array.to_list
+
+let scenarios t = Sg.get t.scenarios_n
+let islands t direction = Sg.get_keyed t.islands_k direction
+let variant t direction = Sg.get_keyed t.variant_k direction
+let logic_grouping t = Sg.get t.logic_grouping_n
+
+let power_at t ?(position = Position.point_a) cfg =
+  Sg.get_keyed t.power_k (cfg, position)

@@ -1,16 +1,21 @@
-(** End-to-end methodology flow (paper Fig. 1).
+(** End-to-end methodology flow (paper Fig. 1) as a lazy stage graph.
 
-    [prepare] runs the front half once — target design generation,
-    placement, timing closure with area recovery (the
-    performance-optimized placed netlist the methodology takes as
-    input), FIR switching activity, Monte-Carlo SSTA per die position,
-    and violation-scenario classification.
+    [prepare] is cheap: it only declares the {!Stage} nodes — target
+    design generation, placement, timing closure with area recovery,
+    FIR switching activity, Monte-Carlo SSTA per die position,
+    violation-scenario classification, island slicing, level-shifter
+    insertion and power analysis.  Each accessor forces exactly the
+    stages it needs, computed at most once per flow handle (keyed
+    stages — [mc], [islands], [variant], [power_at] — at most once per
+    key), so a CLI exhibit, a benchmark, or a test pays only for what
+    it reads.
 
-    [variant] then runs the back half for one slicing direction —
-    voltage-island generation, level-shifter insertion, incremental
-    placement and post-insertion timing — and [power_at] evaluates any
-    supply configuration of the result, which is all the §5 experiments
-    need. *)
+    Every stage run is recorded in the flow's {!Pvtol_util.Trace}
+    (span name, dependencies, wall clock, allocation) and failures
+    surface as {!Stage.Stage_error} naming the failing stage and its
+    forcing chain. *)
+
+module Sg := Stage
 
 open Pvtol_netlist
 module Position := Pvtol_variation.Position
@@ -38,25 +43,45 @@ val default_config : config
 val quick_config : config
 (** Scaled-down core and sample counts for tests and examples. *)
 
-type t = {
-  config : config;
-  design : Pvtol_vex.Vex_core.t;
-  netlist : Netlist.t;                     (** after sizing *)
-  placement : Pvtol_place.Placement.t;
-  sta : Pvtol_timing.Sta.t;
-  clock : float;                           (** nominal period, ns *)
-  sizing : Pvtol_timing.Sizing.report;
-  sampler : Pvtol_variation.Sampler.t;
-  fir : Pvtol_vexsim.Fir.result;
-  activity : Pvtol_power.Gatesim.activity;
-  mc : Position.t -> Pvtol_ssta.Monte_carlo.result;  (** memoized *)
-  mc_all : unit -> (Position.t * Pvtol_ssta.Monte_carlo.result) list;
-      (** all named positions, uncached ones evaluated as parallel
-          tasks on the shared domain pool; same memo as [mc] *)
-  scenarios : unit -> Pvtol_ssta.Scenario.t list;    (** at A, B, C, D *)
-}
+type t
+(** A flow handle: the stage graph plus its memo.  Values are computed
+    on first access and shared by every later accessor call. *)
 
 val prepare : ?config:config -> unit -> t
+(** Declare the stage graph.  No stage is computed until accessed. *)
+
+(** {2 Front-half stages} *)
+
+val config : t -> config
+val design : t -> Pvtol_vex.Vex_core.t
+val netlist : t -> Netlist.t
+(** The sized netlist. *)
+
+val placement : t -> Pvtol_place.Placement.t
+val sta : t -> Pvtol_timing.Sta.t
+val nominal : t -> Pvtol_timing.Sta.result
+(** Nominal-corner STA result of the sized design (the report behind
+    [clock]). *)
+
+val clock : t -> float
+(** Nominal period, ns (execute-stage critical path). *)
+
+val sizing : t -> Pvtol_timing.Sizing.report
+val sampler : t -> Pvtol_variation.Sampler.t
+val fir : t -> Pvtol_vexsim.Fir.result
+val activity : t -> Pvtol_power.Gatesim.activity
+
+val mc : t -> Position.t -> Pvtol_ssta.Monte_carlo.result
+(** Monte-Carlo SSTA at a die position; memoized per position label. *)
+
+val mc_all : t -> (Position.t * Pvtol_ssta.Monte_carlo.result) list
+(** All named positions; uncached ones are evaluated as parallel tasks
+    on the shared domain pool (bit-identical to serial evaluation). *)
+
+val scenarios : t -> Pvtol_ssta.Scenario.t list
+(** Violation scenarios at A, B, C, D. *)
+
+(** {2 Back-half stages (per slicing direction)} *)
 
 type variant = {
   direction : Island.direction;
@@ -68,21 +93,42 @@ type variant = {
   activity_shifted : Pvtol_power.Gatesim.activity;
 }
 
+val islands : t -> Island.direction -> Slicing.outcome
+(** Voltage-island generation for one direction; memoized. *)
+
 val variant : t -> Island.direction -> variant
-(** Deterministic; results should be cached by the caller (the
-    experiment harness memoizes both directions). *)
+(** Level-shifter insertion, incremental placement and timing closure
+    on the islands of one direction; memoized per direction. *)
+
+val logic_grouping : t -> (Logic_grouping.t, string) result
+(** The §3 logic-based baseline on the same design; [Error] carries the
+    infeasibility message.  Memoized so the ablation and power-grid
+    exhibits share one run. *)
+
+(** {2 Power} *)
 
 type supply_config =
   | Baseline_low      (** everything at 1.0V — the pre-compensation design *)
   | Chip_wide_high    (** traditional full-chip adaptation: all at 1.2V *)
-  | Islands of variant * int
-      (** level-shifted design with islands [1..k] raised *)
+  | Islands of Island.direction * int
+      (** level-shifted design of that slicing with islands [1..k] raised *)
 
 val power_at :
   t -> ?position:Position.t -> supply_config -> Pvtol_power.Power.report
 (** Power at a die position (leakage sees the systematic Lgate map
     there; default position A).  All configurations are evaluated at
-    the same frequency (the nominal fmax), as in §5. *)
+    the same frequency (the nominal fmax), as in §5.  Memoized per
+    (configuration, position). *)
+
+val supply_label : supply_config -> string
+(** Stable short label ("low", "high", "islands-vertical-3"), used as
+    the power stage's trace key. *)
+
+(** {2 Introspection} *)
+
+val graph : t -> Sg.graph
+val trace : t -> Pvtol_util.Trace.t
+(** The span trace of every stage computed so far on this handle. *)
 
 val growth_targets : Slicing.target list
 (** The scenario ladder the islands compensate: island 1 for the

@@ -29,28 +29,32 @@ type study = {
 let analyzed = [ Stage.Decode; Stage.Execute; Stage.Writeback ]
 
 let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
-  let nl = t.Flow.netlist in
+  let nl = Flow.netlist t in
   let lib = nl.Netlist.lib in
   let low = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
   let high = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_high in
   let part = v.Flow.slicing.Slicing.partition in
-  let domains = Island.domains part t.Flow.placement in
+  let placement = Flow.placement t in
+  let sampler = Flow.sampler t in
+  let sta = Flow.sta t in
+  let clock = Flow.clock t in
+  let domains = Island.domains part placement in
   let n_islands = Array.length part.Island.islands in
   let rng = Srng.create seed in
   let n = Netlist.cell_count nl in
-  let base = Sta.nominal_delays t.Flow.sta in
+  let base = Sta.nominal_delays sta in
   let lgates = Array.make n 0.0 in
   let delays = Array.make n 0.0 in
   let sta_with vdd =
-    Sampler.scale_delays t.Flow.sampler ~base ~lgates ~vdd ~out:delays;
-    Sta.analyze t.Flow.sta ~delays
+    Sampler.scale_delays sampler ~base ~lgates ~vdd ~out:delays;
+    Sta.analyze sta ~delays
   in
   let violating_stages r =
     List.length
       (List.filter
          (fun s ->
            match Sta.stage_delay r s with
-           | Some d -> d > t.Flow.clock +. 1e-12
+           | Some d -> d > clock +. 1e-12
            | None -> false)
          analyzed)
   in
@@ -59,7 +63,8 @@ let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
   let power_of_raised =
     Array.init (n_islands + 1) (fun raised ->
         Power.total_mw
-          (Flow.power_at t ~position:Position.point_b (Flow.Islands (v, raised)))
+          (Flow.power_at t ~position:Position.point_b
+             (Flow.Islands (v.Flow.direction, raised)))
             .Power.total)
   in
   let power_chip_wide =
@@ -74,8 +79,8 @@ let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
   for _ = 1 to n_chips do
     let frac = Srng.uniform rng in
     let position = Position.at_fraction frac in
-    let systematic = Sampler.systematic_lgates t.Flow.sampler t.Flow.placement position in
-    Sampler.sample_lgates t.Flow.sampler ~systematic rng lgates;
+    let systematic = Sampler.systematic_lgates sampler placement position in
+    Sampler.sample_lgates sampler ~systematic rng lgates;
     (* This die at nominal supply: which stages fail? *)
     let r_low = sta_with (fun _ -> low) in
     let violating = violating_stages r_low in

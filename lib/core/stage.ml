@@ -1,0 +1,190 @@
+(* Lazy memoized stage graph.  See stage.mli for the contract. *)
+
+module Trace = Pvtol_util.Trace
+
+type error = {
+  stage : string;
+  chain : string list;
+  message : string;
+}
+
+exception Stage_error of error
+
+let error_message e =
+  Printf.sprintf "stage %S failed (forced via %s): %s" e.stage
+    (String.concat " -> " e.chain)
+    e.message
+
+let () =
+  Printexc.register_printer (function
+    | Stage_error e -> Some (error_message e)
+    | _ -> None)
+
+type graph = {
+  trace : Trace.t;
+  registry : Mutex.t;
+  mutable names : string list;
+}
+
+let create ?trace () =
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  { trace; registry = Mutex.create (); names = [] }
+
+let trace g = g.trace
+
+let register g name =
+  Mutex.lock g.registry;
+  let dup = List.mem name g.names in
+  if not dup then g.names <- name :: g.names;
+  Mutex.unlock g.registry;
+  if dup then invalid_arg (Printf.sprintf "Stage: duplicate node name %S" name)
+
+(* The chain of node names the current domain is forcing, innermost
+   first.  Per-domain, so keyed nodes computed on pool workers get
+   their own (short) chains. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+type 'a state = Pending | Running | Done of 'a | Failed of error
+
+type 'a cell = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable state : 'a state;
+}
+
+let new_cell () =
+  { lock = Mutex.create (); cond = Condition.create (); state = Pending }
+
+(* Force one cell: memoized value or error; computes at most once.  A
+   concurrent forcing domain blocks until the computing domain stores a
+   result; re-entrant forcing from the same domain is a dependency
+   cycle. *)
+let force_cell g cell ~name ~deps compute =
+  let rec await () =
+    match cell.state with
+    | Done v ->
+      Mutex.unlock cell.lock;
+      v
+    | Failed e ->
+      Mutex.unlock cell.lock;
+      raise (Stage_error e)
+    | Running ->
+      let stack = Domain.DLS.get stack_key in
+      if List.mem name !stack then begin
+        Mutex.unlock cell.lock;
+        let chain = List.rev (name :: !stack) in
+        raise (Stage_error { stage = name; chain; message = "dependency cycle" })
+      end;
+      Condition.wait cell.cond cell.lock;
+      await ()
+    | Pending ->
+      cell.state <- Running;
+      Mutex.unlock cell.lock;
+      let stack = Domain.DLS.get stack_key in
+      stack := name :: !stack;
+      let finish st =
+        stack := List.tl !stack;
+        Mutex.lock cell.lock;
+        cell.state <- st;
+        Condition.broadcast cell.cond;
+        Mutex.unlock cell.lock
+      in
+      (match Trace.span g.trace ~name ~deps compute with
+      | v ->
+        finish (Done v);
+        v
+      | exception Stage_error e ->
+        (* Already attributed to the stage that actually failed. *)
+        finish (Failed e);
+        raise (Stage_error e)
+      | exception exn ->
+        let e =
+          {
+            stage = name;
+            chain = List.rev !stack;
+            message = Printexc.to_string exn;
+          }
+        in
+        finish (Failed e);
+        raise (Stage_error e))
+  in
+  Mutex.lock cell.lock;
+  await ()
+
+type 'a node = {
+  graph : graph;
+  name : string;
+  deps : string list;
+  compute : unit -> 'a;
+  cell : 'a cell;
+}
+
+let node g ~name ?(deps = []) compute =
+  register g name;
+  { graph = g; name; deps; compute; cell = new_cell () }
+
+let name n = n.name
+let get n = force_cell n.graph n.cell ~name:n.name ~deps:n.deps n.compute
+
+let result n =
+  match get n with v -> Ok v | exception Stage_error e -> Error e
+
+let peek n =
+  Mutex.lock n.cell.lock;
+  let v = match n.cell.state with Done v -> Some v | _ -> None in
+  Mutex.unlock n.cell.lock;
+  v
+
+type ('k, 'a) keyed = {
+  kgraph : graph;
+  kname : string;
+  kdeps : 'k -> string list;
+  key_label : 'k -> string;
+  kcompute : 'k -> 'a;
+  table : (string, 'a cell) Hashtbl.t;
+  table_lock : Mutex.t;
+}
+
+let keyed g ~name ?(deps = fun _ -> []) ~key_label compute =
+  register g name;
+  {
+    kgraph = g;
+    kname = name;
+    kdeps = deps;
+    key_label;
+    kcompute = compute;
+    table = Hashtbl.create 8;
+    table_lock = Mutex.create ();
+  }
+
+let instance_name k key = k.kname ^ "[" ^ k.key_label key ^ "]"
+
+let get_keyed k key =
+  let label = k.key_label key in
+  Mutex.lock k.table_lock;
+  let cell =
+    match Hashtbl.find_opt k.table label with
+    | Some c -> c
+    | None ->
+      let c = new_cell () in
+      Hashtbl.add k.table label c;
+      c
+  in
+  Mutex.unlock k.table_lock;
+  force_cell k.kgraph cell ~name:(instance_name k key) ~deps:(k.kdeps key)
+    (fun () -> k.kcompute key)
+
+let result_keyed k key =
+  match get_keyed k key with v -> Ok v | exception Stage_error e -> Error e
+
+let computed_keys k =
+  Mutex.lock k.table_lock;
+  let keys =
+    Hashtbl.fold
+      (fun label cell acc ->
+        match cell.state with Done _ -> label :: acc | _ -> acc)
+      k.table []
+  in
+  Mutex.unlock k.table_lock;
+  List.sort String.compare keys

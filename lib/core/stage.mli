@@ -1,0 +1,88 @@
+(** Lazy, memoized, traced stage graph.
+
+    The methodology flow (paper Fig. 1) is an explicit pipeline:
+    netlist generation, placement, STA, per-position Monte-Carlo SSTA,
+    scenario classification, island slicing, level-shifter insertion,
+    power.  This module gives each step a {e named, typed node} with
+    explicit dependencies.  A node computes at most once per graph
+    (thread-safe: a second domain forcing the same node blocks until
+    the first stores the result); {e keyed} nodes memoize one instance
+    per key (e.g. the Monte-Carlo stage per die position) and may be
+    forced concurrently from pool workers for distinct keys.
+
+    Every computation is recorded as a {!Pvtol_util.Trace} span (name,
+    declared dependencies, wall clock, heap allocation), so [--trace]
+    can show exactly where a run spent its time and that nothing ran
+    twice.
+
+    Stage boundaries are also error boundaries: an exception escaping a
+    node's compute function is converted into {!Stage_error} carrying
+    the failing stage's name and the chain of nodes that forced it —
+    so a Liberty parse error or an infeasible slicing reports {e which}
+    pipeline step failed instead of an anonymous exception surfacing
+    from the middle of an experiment harness.  The error is memoized
+    like a value: re-forcing a failed node re-raises the original
+    error. *)
+
+type error = {
+  stage : string;       (** name of the node whose compute raised *)
+  chain : string list;  (** forcing chain, outermost first, ending at [stage] *)
+  message : string;     (** printed form of the underlying exception *)
+}
+
+exception Stage_error of error
+
+val error_message : error -> string
+
+(** {2 Graphs} *)
+
+type graph
+
+val create : ?trace:Pvtol_util.Trace.t -> unit -> graph
+(** A fresh graph with its own (or the supplied) trace. *)
+
+val trace : graph -> Pvtol_util.Trace.t
+
+(** {2 Nodes} *)
+
+type 'a node
+
+val node : graph -> name:string -> ?deps:string list -> (unit -> 'a) -> 'a node
+(** Declare a node.  [deps] names the upstream stages (recorded in the
+    trace span; purely declarative — the compute function pulls its
+    inputs by calling {!get} on the upstream nodes it captured).  Node
+    names must be unique per graph ([Invalid_argument] otherwise). *)
+
+val name : 'a node -> string
+
+val get : 'a node -> 'a
+(** Force the node: compute on first use, memoized thereafter.
+    Raises {!Stage_error} if this node (or a dependency) failed. *)
+
+val result : 'a node -> ('a, error) result
+(** Like {!get} but returns the stage error instead of raising. *)
+
+val peek : 'a node -> 'a option
+(** The memoized value if the node has already completed; never
+    computes. *)
+
+(** {2 Keyed nodes} *)
+
+type ('k, 'a) keyed
+
+val keyed :
+  graph ->
+  name:string ->
+  ?deps:('k -> string list) ->
+  key_label:('k -> string) ->
+  ('k -> 'a) ->
+  ('k, 'a) keyed
+(** A family of memoized instances, one per key; [key_label] must be
+    injective on the keys used.  The trace span for key [k] is named
+    ["name[label k]"]. *)
+
+val get_keyed : ('k, 'a) keyed -> 'k -> 'a
+val result_keyed : ('k, 'a) keyed -> 'k -> ('a, error) result
+
+val computed_keys : ('k, 'a) keyed -> string list
+(** Labels of the instances computed so far (sorted). *)

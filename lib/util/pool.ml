@@ -16,13 +16,32 @@ let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let domains t = t.domains
 
+(* A bad PVTOL_DOMAINS is a user mistake worth one loud warning, not a
+   silent fall-through to the hardware default. *)
+let env_warned = ref false
+
+let warn_env s reason =
+  if not !env_warned then begin
+    env_warned := true;
+    Printf.eprintf
+      "pvtol: warning: ignoring PVTOL_DOMAINS=%S (%s); using %d domains\n%!"
+      s reason
+      (max 1 (Domain.recommended_domain_count ()))
+  end
+
 let env_domain_count () =
   match Sys.getenv_opt "PVTOL_DOMAINS" with
   | None -> None
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> Some (min n 64)
-    | Some _ | None -> None)
+    | Some n ->
+      warn_env s
+        (Printf.sprintf "must be a positive domain count, got %d" n);
+      None
+    | None ->
+      warn_env s "not an integer";
+      None)
 
 let default_domain_count () =
   match env_domain_count () with

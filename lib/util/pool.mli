@@ -32,7 +32,9 @@ val domains : t -> int
 
 val default_domain_count : unit -> int
 (** [PVTOL_DOMAINS] if set to a positive integer (clamped to 64), else
-    [Domain.recommended_domain_count ()]. *)
+    [Domain.recommended_domain_count ()].  A non-numeric, zero or
+    negative [PVTOL_DOMAINS] is ignored with a single warning on stderr
+    and the hardware default is used. *)
 
 val shared : unit -> t
 (** A lazily-created process-wide pool of {!default_domain_count}

@@ -1,0 +1,140 @@
+type span = {
+  name : string;
+  deps : string list;
+  start_s : float;
+  dur_s : float;
+  self_s : float;
+  minor_words : float;
+  major_words : float;
+  ok : bool;
+}
+
+type t = {
+  created : float;
+  lock : Mutex.t;
+  mutable spans : span list;  (* reverse completion order *)
+}
+
+let now () = Unix.gettimeofday ()
+let create () = { created = now (); lock = Mutex.create (); spans = [] }
+
+let record t span =
+  Mutex.lock t.lock;
+  t.spans <- span :: t.spans;
+  Mutex.unlock t.lock
+
+(* Spans nest when a stage lazily forces its inputs inside its own
+   compute function.  Each domain keeps a stack of accumulators for
+   time spent in child spans, so a span can report its self time
+   (duration minus the nested spans it forced). *)
+let child_time : float ref list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let span t ~name ?(deps = []) f =
+  let t0 = now () in
+  let g0 = Gc.quick_stat () in
+  let nested = Domain.DLS.get child_time in
+  let children = ref 0.0 in
+  nested := children :: !nested;
+  let finish ok =
+    let t1 = now () in
+    let g1 = Gc.quick_stat () in
+    let dur = t1 -. t0 in
+    nested := List.tl !nested;
+    (match !nested with parent :: _ -> parent := !parent +. dur | [] -> ());
+    record t
+      {
+        name;
+        deps;
+        start_s = t0 -. t.created;
+        dur_s = dur;
+        self_s = Float.max 0.0 (dur -. !children);
+        minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        ok;
+      }
+  in
+  match f () with
+  | v ->
+    finish true;
+    v
+  | exception e ->
+    finish false;
+    raise e
+
+let spans t =
+  Mutex.lock t.lock;
+  let s = List.rev t.spans in
+  Mutex.unlock t.lock;
+  s
+
+let find t name = List.find_opt (fun s -> s.name = name) (spans t)
+
+let count t name =
+  List.length (List.filter (fun s -> s.name = name) (spans t))
+
+let duplicates t =
+  let seen = Hashtbl.create 16 in
+  let dups = ref [] in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s.name then begin
+        if not (List.mem s.name !dups) then dups := s.name :: !dups
+      end
+      else Hashtbl.add seen s.name ())
+    (spans t);
+  List.rev !dups
+
+let mwords w = w /. 1_000_000.0
+
+let pp fmt t =
+  let spans = spans t in
+  let total = List.fold_left (fun acc s -> acc +. s.self_s) 0.0 spans in
+  Format.fprintf fmt "stage trace: %d spans, %.3f s total stage time@."
+    (List.length spans) total;
+  Format.fprintf fmt "  %-22s %10s %12s %12s %12s  %s@." "stage" "start" "dur"
+    "self" "major-alloc" "deps";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %-22s %8.3f s %10.3f s %10.3f s %9.2f MW  %s%s@."
+        s.name s.start_s s.dur_s s.self_s (mwords s.major_words)
+        (match s.deps with [] -> "-" | ds -> String.concat ", " ds)
+        (if s.ok then "" else "  [FAILED]"))
+    spans
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"spans\": [\n";
+  let spans = spans t in
+  let n = List.length spans in
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"deps\": [%s], \"start_s\": %.6f, \
+            \"dur_s\": %.6f, \"self_s\": %.6f, \"minor_words\": %.0f, \
+            \"major_words\": %.0f, \"ok\": %b}%s\n"
+           (json_escape s.name)
+           (String.concat ", "
+              (List.map (fun d -> "\"" ^ json_escape d ^ "\"") s.deps))
+           s.start_s s.dur_s s.self_s s.minor_words s.major_words s.ok
+           (if i < n - 1 then "," else "")))
+    spans;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json t file =
+  let oc = open_out file in
+  output_string oc (to_json t);
+  close_out oc

@@ -1,0 +1,46 @@
+(** Structured span tracing for the stage-graph flow.
+
+    A trace collects one {!span} per completed unit of work: its name,
+    its declared dependencies, wall-clock start/duration, and the
+    minor/major-heap words allocated while it ran (from
+    [Gc.quick_stat]; in a multi-domain program the GC counters are
+    per-domain, so allocation figures are attributed to the domain that
+    computed the span).  Appending is mutex-protected, so spans may be
+    recorded concurrently from pool workers. *)
+
+type span = {
+  name : string;
+  deps : string list;   (** declared upstream stage names *)
+  start_s : float;      (** seconds since the trace was created *)
+  dur_s : float;        (** wall clock, including nested spans forced inside *)
+  self_s : float;
+      (** [dur_s] minus the spans this one forced on the same domain —
+          the stage's own work *)
+  minor_words : float;
+  major_words : float;
+  ok : bool;            (** false if the traced function raised *)
+}
+
+type t
+
+val create : unit -> t
+
+val span : t -> name:string -> ?deps:string list -> (unit -> 'a) -> 'a
+(** Run the function and record a span (also on exception, with
+    [ok = false]; the exception is re-raised). *)
+
+val spans : t -> span list
+(** Completion order: every span finishes after the spans it forced. *)
+
+val find : t -> string -> span option
+val count : t -> string -> int
+
+val duplicates : t -> string list
+(** Span names recorded more than once — empty iff every stage ran at
+    most once. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty span report (one line per span, completion order). *)
+
+val to_json : t -> string
+val write_json : t -> string -> unit

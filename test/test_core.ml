@@ -6,6 +6,8 @@ module Island = Pvtol_core.Island
 module Slicing = Pvtol_core.Slicing
 module Level_shifter = Pvtol_core.Level_shifter
 module Experiments = Pvtol_core.Experiments
+module Sg = Pvtol_core.Stage
+module Trace = Pvtol_util.Trace
 module Power = Pvtol_power.Power
 module Sta = Pvtol_timing.Sta
 module Position = Pvtol_variation.Position
@@ -54,12 +56,13 @@ let test_islands_nested () =
 let test_domains_consistent () =
   let t, v = Lazy.force env in
   let part = v.Flow.slicing.Slicing.partition in
-  let domains = Island.domains part t.Flow.placement in
+  let placement = Flow.placement t in
+  let domains = Island.domains part placement in
   Array.iteri
     (fun cid d ->
       let pt =
-        Geom.point t.Flow.placement.Pvtol_place.Placement.xs.(cid)
-          t.Flow.placement.Pvtol_place.Placement.ys.(cid)
+        Geom.point placement.Pvtol_place.Placement.xs.(cid)
+          placement.Pvtol_place.Placement.ys.(cid)
       in
       (* Domain d means: inside islands d, d+1, ... and outside d-1. *)
       Alcotest.(check int) "domain matches geometry" (Island.domain_of_point part pt) d)
@@ -73,9 +76,9 @@ let test_domains_consistent () =
 let test_vdd_assignment_monotone () =
   let t, v = Lazy.force env in
   let part = v.Flow.slicing.Slicing.partition in
-  let domains = Island.domains part t.Flow.placement in
-  let lib = t.Flow.netlist.Netlist.lib in
-  let n = Netlist.cell_count t.Flow.netlist in
+  let domains = Island.domains part (Flow.placement t) in
+  let lib = (Flow.netlist t).Netlist.lib in
+  let n = Netlist.cell_count (Flow.netlist t) in
   for raised = 0 to 2 do
     let count v_of =
       let c = ref 0 in
@@ -101,22 +104,25 @@ let test_vdd_assignment_monotone () =
 let test_slicing_compensates_at_corner () =
   let t, v = Lazy.force env in
   let part = v.Flow.slicing.Slicing.partition in
-  let domains = Island.domains part t.Flow.placement in
-  let lib = t.Flow.netlist.Netlist.lib in
+  let domains = Island.domains part (Flow.placement t) in
+  let lib = (Flow.netlist t).Netlist.lib in
   (* Re-run the deterministic corner check the generator used for the
      most severe scenario: all stages must meet the clock. *)
-  let systematic = Sampler.systematic_lgates t.Flow.sampler t.Flow.placement Position.point_a in
+  let systematic =
+    Sampler.systematic_lgates (Flow.sampler t) (Flow.placement t)
+      Position.point_a
+  in
   let vdd = Island.vdd_assignment part ~domains ~raised:3 ~lib in
-  let base = Sta.nominal_delays t.Flow.sta in
+  let base = Sta.nominal_delays (Flow.sta t) in
   let delays =
     Array.mapi
       (fun i b ->
         b
-        *. Slicing.corner_scale ~sampler:t.Flow.sampler ~systematic
-             ~corner_kappa:t.Flow.config.Flow.corner_kappa ~vdd i)
+        *. Slicing.corner_scale ~sampler:(Flow.sampler t) ~systematic
+             ~corner_kappa:(Flow.config t).Flow.corner_kappa ~vdd i)
       base
   in
-  let r = Sta.analyze t.Flow.sta ~delays in
+  let r = Sta.analyze (Flow.sta t) ~delays in
   List.iter
     (fun s ->
       match Sta.stage_delay r s with
@@ -124,7 +130,7 @@ let test_slicing_compensates_at_corner () =
         Alcotest.(check bool)
           (Printf.sprintf "%s compensated at corner A" (Stage.name s))
           true
-          (d <= t.Flow.clock +. 1e-9)
+          (d <= Flow.clock t +. 1e-9)
       | None -> ())
     [ Stage.Decode; Stage.Execute; Stage.Writeback ]
 
@@ -133,9 +139,9 @@ let test_slicing_infeasible () =
   (* An impossible clock cannot be compensated even chip-wide. *)
   try
     ignore
-      (Slicing.generate ~direction:Island.Vertical ~sta:t.Flow.sta
-         ~placement:t.Flow.placement ~sampler:t.Flow.sampler
-         ~clock:(t.Flow.clock /. 2.0)
+      (Slicing.generate ~direction:Island.Vertical ~sta:(Flow.sta t)
+         ~placement:(Flow.placement t) ~sampler:(Flow.sampler t)
+         ~clock:(Flow.clock t /. 2.0)
          ~targets:[ { Slicing.scenario_index = 1; position = Position.point_a } ]
          ());
     Alcotest.fail "expected Infeasible"
@@ -150,7 +156,7 @@ let test_ls_netlist_valid () =
   | Error es -> Alcotest.failf "shifted netlist invalid: %s" (List.hd es)
 
 let test_ls_covers_all_crossings () =
-  let t, v = Lazy.force env in
+  let _, v = Lazy.force env in
   let shifted = v.Flow.shifted in
   (* After insertion there must be no remaining low->high crossing whose
      driver is not itself a level shifter. *)
@@ -179,23 +185,22 @@ let test_ls_covers_all_crossings () =
                 incr violations)
             net.Netlist.sinks)
     nl.Netlist.nets;
-  ignore t;
   Alcotest.(check int) "no unshifted crossings remain" 0 !violations
 
 let test_ls_count_consistent () =
   let t, v = Lazy.force env in
   let shifted = v.Flow.shifted in
   let expected =
-    Level_shifter.count_crossings v.Flow.slicing.Slicing.partition t.Flow.placement
-      t.Flow.netlist
+    Level_shifter.count_crossings v.Flow.slicing.Slicing.partition
+      (Flow.placement t) (Flow.netlist t)
   in
   Alcotest.(check int) "count matches analysis" expected
     shifted.Level_shifter.count;
   Alcotest.(check int) "ids appended at the end"
-    (Netlist.cell_count t.Flow.netlist)
+    (Netlist.cell_count (Flow.netlist t))
     shifted.Level_shifter.first_ls;
   Alcotest.(check int) "netlist grew by count"
-    (Netlist.cell_count t.Flow.netlist + shifted.Level_shifter.count)
+    (Netlist.cell_count (Flow.netlist t) + shifted.Level_shifter.count)
     (Netlist.cell_count shifted.Level_shifter.netlist)
 
 let test_ls_area_positive () =
@@ -210,7 +215,7 @@ let test_flow_scenarios_ladder () =
   let t, _ = Lazy.force env in
   let indexes =
     List.map (fun (sc : Pvtol_ssta.Scenario.t) -> sc.Pvtol_ssta.Scenario.index)
-      (t.Flow.scenarios ())
+      (Flow.scenarios t)
   in
   let rec non_increasing = function
     | a :: (b :: _ as rest) -> a >= b && non_increasing rest
@@ -220,19 +225,19 @@ let test_flow_scenarios_ladder () =
   Alcotest.(check bool) "something violates at A" true (List.hd indexes > 0)
 
 let test_power_orderings () =
-  let t, v = Lazy.force env in
+  let t, _ = Lazy.force env in
   let total cfg pos = Power.total_mw (Flow.power_at t ~position:pos cfg).Power.total in
   let low = total Flow.Baseline_low Position.point_a in
   let high = total Flow.Chip_wide_high Position.point_a in
   Alcotest.(check bool) "chip-wide high > baseline" true (high > low);
   (* More islands raised costs more power at the same position. *)
-  let p1 = total (Flow.Islands (v, 1)) Position.point_a in
-  let p2 = total (Flow.Islands (v, 2)) Position.point_a in
-  let p3 = total (Flow.Islands (v, 3)) Position.point_a in
+  let p1 = total (Flow.Islands (Island.Vertical, 1)) Position.point_a in
+  let p2 = total (Flow.Islands (Island.Vertical, 2)) Position.point_a in
+  let p3 = total (Flow.Islands (Island.Vertical, 3)) Position.point_a in
   Alcotest.(check bool) "monotone in raised islands" true (p1 <= p2 && p2 <= p3)
 
 let test_vdd_assignment_via_shifted () =
-  let t, v = Lazy.force env in
+  let _, v = Lazy.force env in
   let shifted = v.Flow.shifted in
   let n = Netlist.cell_count shifted.Level_shifter.netlist in
   (* With everything raised, every cell inside VI3 runs high. *)
@@ -242,26 +247,54 @@ let test_vdd_assignment_via_shifted () =
     if domains.(cid) <= 3 then
       Alcotest.(check bool) "inside raised" true (vdd > 1.1)
     else Alcotest.(check bool) "outside low" true (vdd < 1.1)
-  done;
-  ignore t
+  done
 
 let test_degradation_bounded () =
   let _, v = Lazy.force env in
   Alcotest.(check bool) "post-LS degradation within 20%" true
     (v.Flow.degradation < 0.20)
 
+(* --- stage graph: every stage at most once per handle --- *)
+
+let test_stage_fires_once () =
+  let t, _ = Lazy.force env in
+  (* The shared env has already rendered nothing; force a spread of
+     exhibits that used to recompute work, then check the trace. *)
+  ignore (Experiments.table1_breakdown t);
+  ignore (Experiments.scenarios_summary t);
+  ignore (Experiments.fig5_total_power t);
+  ignore (Experiments.fig6_leakage t);
+  let dups = Trace.duplicates (Flow.trace t) in
+  Alcotest.(check (list string)) "no stage computed twice" [] dups;
+  (* Core stages are all present (they were needed by the exhibits). *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " appears in trace")
+        true
+        (Trace.find (Flow.trace t) name <> None))
+    [ "design"; "placement"; "sizing"; "sta"; "timing"; "scenarios" ]
+
+let test_no_recompute_downstream () =
+  let t, _ = Lazy.force env in
+  (* After a full pass over the usual exhibits, requesting a downstream
+     artifact again must recompute zero stages. *)
+  ignore (Experiments.fig5_total_power t);
+  ignore (Flow.scenarios t);
+  let before = List.length (Trace.spans (Flow.trace t)) in
+  ignore (Experiments.fig6_leakage t);
+  ignore (Experiments.energy_note t);
+  ignore (Flow.mc t Position.point_a);
+  ignore (Flow.nominal t);
+  let after = List.length (Trace.spans (Flow.trace t)) in
+  Alcotest.(check int) "zero stages recomputed" before after
+
 (* --- experiments rendering --- *)
 
 let test_experiments_render () =
-  let t, v = Lazy.force env in
-  (* Reuse the prepared pieces rather than re-running the whole flow. *)
-  let ctx =
-    {
-      Experiments.flow = t;
-      vertical = v;
-      horizontal = Flow.variant t Island.Horizontal;
-    }
-  in
+  let t, _ = Lazy.force env in
+  (* The context IS the flow handle: everything memoized inside it. *)
+  let ctx = t in
   List.iter
     (fun (name, text) ->
       Alcotest.(check bool) (name ^ " non-empty") true (String.length text > 80))
@@ -296,5 +329,7 @@ let suite =
       Alcotest.test_case "power orderings" `Quick test_power_orderings;
       Alcotest.test_case "vdd via shifted design" `Quick test_vdd_assignment_via_shifted;
       Alcotest.test_case "degradation bounded" `Quick test_degradation_bounded;
+      Alcotest.test_case "stage fires at most once" `Quick test_stage_fires_once;
+      Alcotest.test_case "no downstream recompute" `Quick test_no_recompute_downstream;
       Alcotest.test_case "experiments render" `Quick test_experiments_render;
     ] )

@@ -109,9 +109,9 @@ let env =
 let test_quadrant_generation () =
   let t, _ = Lazy.force env in
   let o =
-    Slicing.generate ~direction:Island.Quadrant ~sta:t.Flow.sta
-      ~placement:t.Flow.placement ~sampler:t.Flow.sampler ~clock:t.Flow.clock
-      ~targets:Flow.growth_targets ()
+    Slicing.generate ~direction:Island.Quadrant ~sta:(Flow.sta t)
+      ~placement:(Flow.placement t) ~sampler:(Flow.sampler t)
+      ~clock:(Flow.clock t) ~targets:Flow.growth_targets ()
   in
   let islands = o.Slicing.partition.Island.islands in
   Alcotest.(check int) "three islands" 3 (Array.length islands);
@@ -125,10 +125,11 @@ let test_quadrant_generation () =
 let test_logic_grouping () =
   let t, _ = Lazy.force env in
   let lg =
-    Logic_grouping.generate ~sta:t.Flow.sta ~placement:t.Flow.placement
-      ~sampler:t.Flow.sampler ~clock:t.Flow.clock ~targets:Flow.growth_targets ()
+    Logic_grouping.generate ~sta:(Flow.sta t) ~placement:(Flow.placement t)
+      ~sampler:(Flow.sampler t) ~clock:(Flow.clock t)
+      ~targets:Flow.growth_targets ()
   in
-  let n = Netlist.cell_count t.Flow.netlist in
+  let n = Netlist.cell_count (Flow.netlist t) in
   Alcotest.(check int) "domain per cell" n (Array.length lg.Logic_grouping.domains);
   (* Domains are within range and nested by construction: a scenario-1
      unit's cells stay domain 1. *)
@@ -143,26 +144,29 @@ let test_logic_grouping () =
       match Hashtbl.find_opt dom_of_unit c.Netlist.unit_name with
       | None -> Hashtbl.replace dom_of_unit c.Netlist.unit_name d
       | Some d' -> Alcotest.(check int) "unit is atomic" d' d)
-    t.Flow.netlist.Netlist.cells;
+    (Flow.netlist t).Netlist.cells;
   (* Crossing count is non-negative and bounded by net count. *)
-  let ls = Logic_grouping.count_crossings t.Flow.netlist ~domains:lg.Logic_grouping.domains in
+  let ls =
+    Logic_grouping.count_crossings (Flow.netlist t)
+      ~domains:lg.Logic_grouping.domains
+  in
   Alcotest.(check bool) "ls bounded" true
-    (ls >= 0 && ls <= Netlist.net_count t.Flow.netlist)
+    (ls >= 0 && ls <= Netlist.net_count (Flow.netlist t))
 
 let test_fragmentation_slab_is_one () =
   let t, v = Lazy.force env in
   let domains =
-    Island.domains v.Flow.slicing.Slicing.partition t.Flow.placement
+    Island.domains v.Flow.slicing.Slicing.partition (Flow.placement t)
   in
-  let frag = Logic_grouping.fragmentation t.Flow.placement ~domains ~raised:3 in
+  let frag = Logic_grouping.fragmentation (Flow.placement t) ~domains ~raised:3 in
   Alcotest.(check int) "slab island is one domain" 1 frag
 
 let test_fragmentation_scattered () =
   let t, _ = Lazy.force env in
-  let n = Netlist.cell_count t.Flow.netlist in
+  let n = Netlist.cell_count (Flow.netlist t) in
   (* A deliberately scattered assignment: every 7th cell raised. *)
   let domains = Array.init n (fun i -> if i mod 7 = 0 then 1 else 2) in
-  let frag = Logic_grouping.fragmentation t.Flow.placement ~domains ~raised:1 in
+  let frag = Logic_grouping.fragmentation (Flow.placement t) ~domains ~raised:1 in
   (* Nothing reaches majority in any bin -> zero routable domains, or a
      few scattered ones; certainly not a clean single region covering
      the raised cells. *)
@@ -237,9 +241,11 @@ let test_abb_models () =
 let test_power_grid_slab () =
   let module PG = Pvtol_core.Power_grid in
   let t, v = Lazy.force env in
-  let domains = Island.domains v.Flow.slicing.Slicing.partition t.Flow.placement in
+  let domains =
+    Island.domains v.Flow.slicing.Slicing.partition (Flow.placement t)
+  in
   let r =
-    PG.analyze ~placement:t.Flow.placement
+    PG.analyze ~placement:(Flow.placement t)
       ~member:(fun cid -> domains.(cid) <= 3)
       ~current_ma:(fun _ -> 0.002)
       ~vdd:1.2 ()
@@ -250,7 +256,7 @@ let test_power_grid_slab () =
   Alcotest.(check bool) "drop below the rail" true (r.PG.max_drop_mv < 1200.0);
   (* Linearity: doubling the current doubles the drop. *)
   let r2 =
-    PG.analyze ~placement:t.Flow.placement
+    PG.analyze ~placement:(Flow.placement t)
       ~member:(fun cid -> domains.(cid) <= 3)
       ~current_ma:(fun _ -> 0.004)
       ~vdd:1.2 ()
@@ -262,12 +268,13 @@ let test_power_grid_slab () =
 let test_power_grid_interior_island_unreachable () =
   let module PG = Pvtol_core.Power_grid in
   let t, _ = Lazy.force env in
-  let core = t.Flow.placement.Pvtol_place.Placement.floorplan.Pvtol_place.Floorplan.core in
+  let placement = Flow.placement t in
+  let core = placement.Pvtol_place.Placement.floorplan.Pvtol_place.Floorplan.core in
   (* Select only cells in a small interior square that touches no core
      edge: the supply cannot reach it along its own domain. *)
   let member cid =
-    let x = t.Flow.placement.Pvtol_place.Placement.xs.(cid) in
-    let y = t.Flow.placement.Pvtol_place.Placement.ys.(cid) in
+    let x = placement.Pvtol_place.Placement.xs.(cid) in
+    let y = placement.Pvtol_place.Placement.ys.(cid) in
     let w = Geom.width core and h = Geom.height core in
     x > core.Geom.llx +. (0.4 *. w)
     && x < core.Geom.llx +. (0.6 *. w)
@@ -275,7 +282,7 @@ let test_power_grid_interior_island_unreachable () =
     && y < core.Geom.lly +. (0.6 *. h)
   in
   let r =
-    PG.analyze ~placement:t.Flow.placement ~member
+    PG.analyze ~placement ~member
       ~current_ma:(fun _ -> 0.002)
       ~vdd:1.2 ()
   in

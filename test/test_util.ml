@@ -332,6 +332,23 @@ let test_pool_default_count () =
   Alcotest.(check bool) "default domain count positive" true
     (Pool.default_domain_count () >= 1)
 
+let test_pool_env_parsing () =
+  (* Unix.putenv mutates the process environment, which is what
+     Sys.getenv_opt reads.  Restore the previous value afterwards. *)
+  let old = Sys.getenv_opt "PVTOL_DOMAINS" in
+  let restore () = Unix.putenv "PVTOL_DOMAINS" (Option.value ~default:"" old) in
+  Fun.protect ~finally:restore (fun () ->
+      let hw = max 1 (Domain.recommended_domain_count ()) in
+      let with_env v = Unix.putenv "PVTOL_DOMAINS" v; Pool.default_domain_count () in
+      Alcotest.(check int) "valid value honoured" 3 (with_env "3");
+      Alcotest.(check int) "whitespace trimmed" 2 (with_env " 2 ");
+      Alcotest.(check int) "clamped to 64" 64 (with_env "1000");
+      (* Malformed values fall back to the hardware default. *)
+      Alcotest.(check int) "non-numeric ignored" hw (with_env "lots");
+      Alcotest.(check int) "zero ignored" hw (with_env "0");
+      Alcotest.(check int) "negative ignored" hw (with_env "-4");
+      Alcotest.(check int) "empty ignored" hw (with_env ""))
+
 let suite =
   ( "util",
     [
@@ -348,6 +365,7 @@ let suite =
       Alcotest.test_case "pool nested-use guard" `Quick test_pool_nested;
       Alcotest.test_case "pool worker-local state" `Quick test_pool_worker_state;
       Alcotest.test_case "pool default domain count" `Quick test_pool_default_count;
+      Alcotest.test_case "pool PVTOL_DOMAINS parsing" `Quick test_pool_env_parsing;
       Alcotest.test_case "srng shuffle permutation" `Quick test_srng_shuffle_permutation;
       Alcotest.test_case "stats known values" `Quick test_stats_known;
       Alcotest.test_case "stats welford" `Quick test_stats_welford_matches_direct;
