@@ -6,7 +6,7 @@
                                         razor fig4 table2 fig5 fig6 energy
                                         validate ablation clocktree crosscheck
                                         alternatives routing powergrid
-                                        workloads postsilicon
+                                        workloads postsilicon wafer
      bench/main.exe kernels         -- Bechamel micro-benchmarks + the
                                         serial-vs-parallel Monte-Carlo
                                         throughput report
@@ -39,6 +39,7 @@ module Gatesim = Pvtol_power.Gatesim
 module Srng = Pvtol_util.Srng
 module Pool = Pvtol_util.Pool
 module MC = Pvtol_ssta.Monte_carlo
+module Wafer = Pvtol_core.Wafer
 
 let ctx = ref None
 
@@ -95,6 +96,56 @@ let print_mc_report r =
     \  mc-parallel  (%d domains)  %10.1f samples/s\n\
     \  speedup: %.2fx\n%!"
     r.mc_samples r.serial_sps r.domains r.parallel_sps (mc_speedup r)
+
+(* ------------------------------------------------------------------ *)
+(* Wafer-sweep throughput: serial vs parallel, dies / second            *)
+
+type wafer_report = {
+  wafer_dies : int;
+  wafer_grid : int * int;
+  wafer_domains : int;
+  wafer_serial_dps : float;    (* dies / second, 1-domain pool *)
+  wafer_parallel_dps : float;  (* dies / second, shared pool *)
+}
+
+let wafer_speedup r = r.wafer_parallel_dps /. r.wafer_serial_dps
+
+let wafer_throughput ~quick () =
+  let t = context ~quick () in
+  let v = Flow.variant t Island.Vertical in
+  let cfg =
+    if quick then { Wafer.default_config with Wafer.nx = 6; ny = 6; dies_per_cell = 8 }
+    else Wafer.default_config
+  in
+  let time_run ~pool =
+    let t0 = Unix.gettimeofday () in
+    let s = Wafer.run ~pool t v cfg in
+    let dt = Unix.gettimeofday () -. t0 in
+    (float_of_int s.Wafer.dies /. dt, s)
+  in
+  let serial_pool = Pool.create ~domains:1 () in
+  let serial_dps, s1 = time_run ~pool:serial_pool in
+  Pool.shutdown serial_pool;
+  let pool = Pool.shared () in
+  let parallel_dps, s2 = time_run ~pool in
+  if s1 <> s2 then failwith "wafer-parallel: sweep differs from the serial engine";
+  {
+    wafer_dies = s1.Wafer.dies;
+    wafer_grid = (cfg.Wafer.nx, cfg.Wafer.ny);
+    wafer_domains = Pool.domains pool;
+    wafer_serial_dps = serial_dps;
+    wafer_parallel_dps = parallel_dps;
+  }
+
+let print_wafer_report r =
+  let nx, ny = r.wafer_grid in
+  Printf.printf
+    "\nWafer sweep throughput (%dx%d grid, %d dies, bit-identical results):\n\
+    \  wafer-serial    (1 domain)    %10.1f dies/s\n\
+    \  wafer-parallel  (%d domains)  %10.1f dies/s\n\
+    \  speedup: %.2fx\n%!"
+    nx ny r.wafer_dies r.wafer_serial_dps r.wafer_domains r.wafer_parallel_dps
+    (wafer_speedup r)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel kernels                                                     *)
@@ -208,7 +259,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~file rows mc =
+let write_json ~file rows mc wf =
   let oc = open_out file in
   output_string oc "{\n  \"kernels_ns_per_run\": {\n";
   let n = List.length rows in
@@ -226,8 +277,20 @@ let write_json ~file rows mc =
     \    \"serial_samples_per_sec\": %.1f,\n\
     \    \"parallel_samples_per_sec\": %.1f,\n\
     \    \"speedup\": %.3f\n\
-    \  }\n}\n"
+    \  },\n"
     mc.mc_samples mc.domains mc.serial_sps mc.parallel_sps (mc_speedup mc);
+  let nx, ny = wf.wafer_grid in
+  Printf.fprintf oc
+    "  \"wafer\": {\n\
+    \    \"grid\": \"%dx%d\",\n\
+    \    \"dies\": %d,\n\
+    \    \"domains\": %d,\n\
+    \    \"serial_dies_per_sec\": %.1f,\n\
+    \    \"parallel_dies_per_sec\": %.1f,\n\
+    \    \"speedup\": %.3f\n\
+    \  }\n}\n"
+    nx ny wf.wafer_dies wf.wafer_domains wf.wafer_serial_dps
+    wf.wafer_parallel_dps (wafer_speedup wf);
   close_out oc;
   Printf.printf "[wrote %s]\n%!" file
 
@@ -242,7 +305,9 @@ let kernels ~quick ~json () =
     rows;
   let mc = mc_throughput ~quick () in
   print_mc_report mc;
-  if json then write_json ~file:"BENCH_ssta.json" rows mc
+  let wf = wafer_throughput ~quick () in
+  print_wafer_report wf;
+  if json then write_json ~file:"BENCH_ssta.json" rows mc wf
 
 (* ------------------------------------------------------------------ *)
 
@@ -267,6 +332,7 @@ let exhibits =
     ("powergrid", Experiments.power_integrity);
     ("workloads", Experiments.workload_sensitivity);
     ("postsilicon", Experiments.postsilicon_study);
+    ("wafer", Experiments.wafer_study);
   ]
 
 let () =

@@ -4,6 +4,8 @@
 
 module Experiments = Pvtol_core.Experiments
 module Flow = Pvtol_core.Flow
+module Island = Pvtol_core.Island
+module Wafer = Pvtol_core.Wafer
 module Trace = Pvtol_util.Trace
 module Vex_core = Pvtol_vex.Vex_core
 module Netlist = Pvtol_netlist.Netlist
@@ -135,6 +137,92 @@ let cmds_exhibits =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Wafer sweep                                                          *)
+
+let grid_conv =
+  let parse s =
+    match String.index_opt s 'x' with
+    | Some i ->
+      (try
+         let nx = int_of_string (String.sub s 0 i) in
+         let ny = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+         if nx > 0 && ny > 0 then Ok (nx, ny)
+         else Error (`Msg "grid dimensions must be positive")
+       with _ -> Error (`Msg (Printf.sprintf "bad grid %S, expected NxM" s)))
+    | None -> Error (`Msg (Printf.sprintf "bad grid %S, expected NxM" s))
+  in
+  let print fmt (nx, ny) = Format.fprintf fmt "%dx%d" nx ny in
+  Arg.conv (parse, print)
+
+let wafer_cmd =
+  let grid =
+    let doc = "Die-position grid over the chip, columns x rows." in
+    Arg.(value & opt grid_conv (8, 8) & info [ "grid" ] ~doc ~docv:"NxM")
+  in
+  let dies =
+    let doc = "Dies simulated per grid cell (per exposure field)." in
+    Arg.(value & opt int 12 & info [ "dies" ] ~doc ~docv:"N")
+  in
+  let fields =
+    let doc =
+      "Exposure-field replicas of the grid (same systematic map, fresh \
+       random draws)."
+    in
+    Arg.(value & opt int 1 & info [ "fields" ] ~doc ~docv:"N")
+  in
+  let wafer_seed =
+    let doc = "Seed of the per-die random Lgate draws." in
+    Arg.(value & opt int 7 & info [ "wafer-seed" ] ~doc ~docv:"SEED")
+  in
+  let direction =
+    let doc = "Island slicing deployed on every die: $(docv)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("vertical", Island.Vertical); ("horizontal", Island.Horizontal);
+               ("quadrant", Island.Quadrant) ])
+          Island.Vertical
+      & info [ "direction" ] ~doc ~docv:"vertical|horizontal|quadrant")
+  in
+  let json_file =
+    let doc = "Also write the whole sweep (wafer + per-cell) as JSON." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let run quick samples seed trace trace_out (nx, ny) dies_per_cell fields
+      wafer_seed direction json_file =
+    with_flow ~quick ~samples ~seed ~trace ~trace_out (fun t ->
+        let cfg =
+          { Wafer.nx; ny; dies_per_cell; fields; seed = wafer_seed; direction }
+        in
+        let s = Wafer.sweep t cfg in
+        Format.printf "%a@." Wafer.pp s;
+        print_string (Wafer.render_map s Wafer.Yield_uncompensated);
+        print_newline ();
+        print_string (Wafer.render_map s Wafer.Yield_compensated);
+        print_newline ();
+        print_string (Wafer.render_map s Wafer.Mean_raised);
+        match json_file with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          output_string oc (Wafer.to_json s);
+          close_out oc;
+          Printf.printf "\nwafer sweep written to %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "wafer"
+       ~doc:
+         "Wafer-scale yield sweep: run the post-silicon \
+          detect-and-compensate loop for a population of dies at every \
+          point of a 2D grid over the exposure field, and report \
+          per-cell and wafer-level yield, compensation and power with \
+          streaming statistics.")
+    Term.(
+      const run $ quick $ samples $ seed $ trace_flag $ trace_out $ grid $ dies
+      $ fields $ wafer_seed $ direction $ json_file)
+
+(* ------------------------------------------------------------------ *)
 (* Design-file dumps                                                    *)
 
 let outdir =
@@ -192,6 +280,6 @@ let main =
   Cmd.group
     ~default:Term.(const summary_run $ quick $ trace_flag $ trace_out)
     (Cmd.info "pvtol" ~version:"1.0.0" ~doc)
-    (cmds_exhibits @ [ dump_cmd; summary_cmd ])
+    (cmds_exhibits @ [ wafer_cmd; dump_cmd; summary_cmd ])
 
 let () = exit (Cmd.eval main)

@@ -107,6 +107,13 @@ val postsilicon_study : context -> string
     and the resulting timing yield and power vs chip-wide adaptation
     (the deployment story of §1, evaluated end to end). *)
 
+val wafer_study : context -> string
+(** Wafer-scale extension of {!postsilicon_study}: the same
+    detect-and-compensate loop swept over a 2D grid of die positions
+    ({!Wafer}), rendered as wafer aggregates plus ASCII yield /
+    compensation heat maps.  The diagonal study is the x=y line of
+    these maps. *)
+
 val all : context -> string
 (** Every exhibit in paper order (warms the Monte-Carlo stage for all
     die positions on the domain pool first). *)

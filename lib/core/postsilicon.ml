@@ -28,38 +28,53 @@ type study = {
 
 let analyzed = [ Stage.Decode; Stage.Execute; Stage.Writeback ]
 
-let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
+(* ------------------------------------------------------------------ *)
+(* Single-die kernel                                                    *)
+
+type kernel = {
+  sampler : Sampler.t;
+  placement : Placement.t;
+  sta : Sta.t;
+  clock : float;
+  low : float;
+  high : float;
+  domains : int array;
+  n_islands : int;
+  base : float array;
+  n_cells : int;
+  (* Power per compensation level, computed once (chip leakage varies
+     with position but the dominant switching term does not). *)
+  power_of_raised : float array;
+  power_chip_wide : float;
+  power_baseline : float;
+}
+
+type scratch = {
+  ws : Sta.workspace;
+  lgates : float array;
+  delays : float array;
+}
+
+type die = {
+  die_violating : int;
+  die_detected : int;
+  die_raised : int;
+  die_meets_uncompensated : bool;
+  die_meets_compensated : bool;
+  die_meets_chip_wide : bool;
+  die_worst_low_ns : float;
+}
+
+let kernel (t : Flow.t) (v : Flow.variant) =
   let nl = Flow.netlist t in
   let lib = nl.Netlist.lib in
   let low = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
   let high = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_high in
   let part = v.Flow.slicing.Slicing.partition in
   let placement = Flow.placement t in
-  let sampler = Flow.sampler t in
   let sta = Flow.sta t in
-  let clock = Flow.clock t in
   let domains = Island.domains part placement in
   let n_islands = Array.length part.Island.islands in
-  let rng = Srng.create seed in
-  let n = Netlist.cell_count nl in
-  let base = Sta.nominal_delays sta in
-  let lgates = Array.make n 0.0 in
-  let delays = Array.make n 0.0 in
-  let sta_with vdd =
-    Sampler.scale_delays sampler ~base ~lgates ~vdd ~out:delays;
-    Sta.analyze sta ~delays
-  in
-  let violating_stages r =
-    List.length
-      (List.filter
-         (fun s ->
-           match Sta.stage_delay r s with
-           | Some d -> d > clock +. 1e-12
-           | None -> false)
-         analyzed)
-  in
-  (* Power per compensation level, computed once (chip leakage varies
-     with position but the dominant switching term does not). *)
   let power_of_raised =
     Array.init (n_islands + 1) (fun raised ->
         Power.total_mw
@@ -75,49 +90,130 @@ let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
     Power.total_mw
       (Flow.power_at t ~position:Position.point_b Flow.Baseline_low).Power.total
   in
+  {
+    sampler = Flow.sampler t;
+    placement;
+    sta;
+    clock = Flow.clock t;
+    low;
+    high;
+    domains;
+    n_islands;
+    base = Sta.nominal_delays sta;
+    n_cells = Netlist.cell_count nl;
+    power_of_raised;
+    power_chip_wide;
+    power_baseline;
+  }
+
+let scratch k =
+  {
+    ws = Sta.workspace k.sta;
+    lgates = Array.make k.n_cells 0.0;
+    delays = Array.make k.n_cells 0.0;
+  }
+
+let n_islands k = k.n_islands
+let clock k = k.clock
+let power_islands_mw k ~raised = k.power_of_raised.(raised)
+let power_chip_wide_mw k = k.power_chip_wide
+let power_baseline_mw k = k.power_baseline
+let die_power_islands_mw k d = k.power_of_raised.(d.die_raised)
+
+let die_power_chip_wide_mw k d =
+  if d.die_meets_uncompensated then k.power_baseline else k.power_chip_wide
+
+let systematic k position =
+  Sampler.systematic_lgates k.sampler k.placement position
+
+let simulate_die k sc ~systematic rng =
+  (* One random Lgate realisation for this die; every supply
+     configuration below re-times the same realisation. *)
+  Sampler.sample_lgates k.sampler ~systematic rng sc.lgates;
+  let analyze_with vdd =
+    Sampler.scale_delays k.sampler ~base:k.base ~lgates:sc.lgates ~vdd
+      ~out:sc.delays;
+    Sta.analyze_into k.sta sc.ws ~delays:sc.delays
+  in
+  let violating_stages () =
+    List.length
+      (List.filter
+         (fun s ->
+           match Sta.ws_stage_delay sc.ws s with
+           | Some d -> d > k.clock +. 1e-12
+           | None -> false)
+         analyzed)
+  in
+  (* This die at nominal supply: which stages fail? *)
+  analyze_with (fun _ -> k.low);
+  let violating = violating_stages () in
+  let worst_low =
+    List.fold_left
+      (fun acc s ->
+        match Sta.ws_stage_delay sc.ws s with
+        | Some d -> Float.max acc d
+        | None -> acc)
+      0.0 analyzed
+  in
+  (* The sensors report the scenario; the controller raises that many
+     islands, then — because Razor keeps monitoring in situ — keeps
+     raising one more while violations persist (closed-loop
+     post-silicon testing). *)
+  let detected = violating in
+  let meets_with raised =
+    if raised = 0 then violating = 0
+    else begin
+      analyze_with (fun cid ->
+          if k.domains.(cid) <= raised then k.high else k.low);
+      violating_stages () = 0
+    end
+  in
+  let rec settle r =
+    if r >= k.n_islands then (k.n_islands, meets_with k.n_islands)
+    else if meets_with r then (r, true)
+    else settle (r + 1)
+  in
+  let raised, meets_compensated = settle (min detected k.n_islands) in
+  analyze_with (fun _ -> k.high);
+  let meets_chip_wide = violating_stages () = 0 in
+  {
+    die_violating = violating;
+    die_detected = detected;
+    die_raised = raised;
+    die_meets_uncompensated = violating = 0;
+    die_meets_compensated = meets_compensated;
+    die_meets_chip_wide = meets_chip_wide;
+    die_worst_low_ns = worst_low;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Population study along the chip diagonal (the original exhibit)      *)
+
+let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
+  let k = kernel t v in
+  let sc = scratch k in
+  let rng = Srng.create seed in
   let chips = ref [] in
   for _ = 1 to n_chips do
     let frac = Srng.uniform rng in
     let position = Position.at_fraction frac in
-    let systematic = Sampler.systematic_lgates sampler placement position in
-    Sampler.sample_lgates sampler ~systematic rng lgates;
-    (* This die at nominal supply: which stages fail? *)
-    let r_low = sta_with (fun _ -> low) in
-    let violating = violating_stages r_low in
-    (* The sensors report the scenario; the controller raises that many
-       islands, then — because Razor keeps monitoring in situ — keeps
-       raising one more while violations persist (closed-loop
-       post-silicon testing). *)
-    let detected = violating in
-    let meets_with raised =
-      if raised = 0 then violating = 0
-      else begin
-        let vdd cid = if domains.(cid) <= raised then high else low in
-        violating_stages (sta_with vdd) = 0
-      end
-    in
-    let rec settle k =
-      if k >= n_islands then (n_islands, meets_with n_islands)
-      else if meets_with k then (k, true)
-      else settle (k + 1)
-    in
-    let raised, meets_compensated = settle (min detected n_islands) in
-    let r_chip = sta_with (fun _ -> high) in
+    let systematic = systematic k position in
+    let d = simulate_die k sc ~systematic rng in
     chips :=
       {
         diagonal_frac = frac;
-        violating;
-        detected;
-        raised;
-        meets_uncompensated = violating = 0;
-        meets_compensated;
-        meets_chip_wide = violating_stages r_chip = 0;
+        violating = d.die_violating;
+        detected = d.die_detected;
+        raised = d.die_raised;
+        meets_uncompensated = d.die_meets_uncompensated;
+        meets_compensated = d.die_meets_compensated;
+        meets_chip_wide = d.die_meets_chip_wide;
       }
       :: !chips
   done;
   let chips = List.rev !chips in
   let count f = List.length (List.filter f chips) in
-  let frac_of k = float_of_int k /. float_of_int n_chips in
+  let frac_of n = float_of_int n /. float_of_int n_chips in
   let mean_raised =
     float_of_int (List.fold_left (fun acc c -> acc + c.raised) 0 chips)
     /. float_of_int n_chips
@@ -125,13 +221,14 @@ let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
   (* Population power: islands scheme uses each chip's raised level;
      chip-wide adaptation raises everything on any failing die. *)
   let mean_power_islands =
-    List.fold_left (fun acc c -> acc +. power_of_raised.(c.raised)) 0.0 chips
+    List.fold_left (fun acc c -> acc +. k.power_of_raised.(c.raised)) 0.0 chips
     /. float_of_int n_chips
   in
   let mean_power_chip_wide =
     List.fold_left
       (fun acc c ->
-        acc +. if c.meets_uncompensated then power_baseline else power_chip_wide)
+        acc
+        +. if c.meets_uncompensated then k.power_baseline else k.power_chip_wide)
       0.0 chips
     /. float_of_int n_chips
   in

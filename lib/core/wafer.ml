@@ -1,0 +1,401 @@
+(* Wafer-scale yield engine: the per-die detect-and-compensate kernel of
+   [Postsilicon], swept over a 2D grid of die positions on the exposure
+   field (optionally replicated over several exposure fields), batched
+   on the shared domain pool and reduced with streaming statistics so
+   the sweep's memory is O(grid), not O(dies). *)
+module Sg = Stage
+module Pool = Pvtol_util.Pool
+module Srng = Pvtol_util.Srng
+module Stats = Pvtol_util.Stats
+module Stream_stats = Pvtol_util.Stream_stats
+module Welford = Stream_stats.Welford
+module P2 = Stream_stats.P2
+module Counter = Stream_stats.Counter
+module Position = Pvtol_variation.Position
+
+type config = {
+  nx : int;
+  ny : int;
+  dies_per_cell : int;
+  fields : int;
+  seed : int;
+  direction : Island.direction;
+}
+
+let default_config =
+  { nx = 8; ny = 8; dies_per_cell = 12; fields = 1; seed = 7;
+    direction = Island.Vertical }
+
+type cell = {
+  ix : int;
+  iy : int;
+  x_frac : float;
+  y_frac : float;
+  dies : int;
+  yield_uncompensated : float;
+  yield_compensated : float;
+  yield_chip_wide : float;
+  mean_raised : float;
+  scenario_counts : int array;
+  raised_counts : int array;
+  mean_power_islands_mw : float;
+  mean_power_chip_wide_mw : float;
+  delay : Stats.summary;
+  delay_p50_ns : float;
+  delay_p90_ns : float;
+}
+
+type sweep = {
+  config : config;
+  n_islands : int;
+  clock_ns : float;
+  cells : cell array;
+  dies : int;
+  yield_uncompensated : float;
+  yield_compensated : float;
+  yield_chip_wide : float;
+  mean_raised : float;
+  scenario_counts : int array;
+  mean_power_islands_mw : float;
+  mean_power_chip_wide_mw : float;
+  delay : Stats.summary;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Grid geometry and per-cell seeding                                   *)
+
+let grid_frac n i =
+  if n <= 1 then 0.5 else float_of_int i /. float_of_int (n - 1)
+
+let cell_position cfg ~ix ~iy =
+  Position.at_xy ~x_frac:(grid_frac cfg.nx ix) ~y_frac:(grid_frac cfg.ny iy) ()
+
+(* Boost-style hash combine on the positive int range: every cell's RNG
+   stream depends only on (seed, field, ix, iy), never on traversal
+   order or domain count. *)
+let mix h k = (h lxor (k + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land max_int
+let cell_seed cfg ~field ~ix ~iy = mix (mix (mix cfg.seed field) iy) ix
+
+(* ------------------------------------------------------------------ *)
+(* Streaming per-cell accumulator                                       *)
+
+type acc = {
+  mutable a_dies : int;
+  mutable a_unc : int;
+  mutable a_comp : int;
+  mutable a_chip : int;
+  a_raised : Welford.t;
+  a_pow_isl : Welford.t;
+  a_pow_chip : Welford.t;
+  a_delay : Welford.t;
+  a_p50 : P2.t;
+  a_p90 : P2.t;
+  a_scen : Counter.t;
+  a_raised_c : Counter.t;
+}
+
+let acc_create ~n_islands =
+  {
+    a_dies = 0;
+    a_unc = 0;
+    a_comp = 0;
+    a_chip = 0;
+    a_raised = Welford.create ();
+    a_pow_isl = Welford.create ();
+    a_pow_chip = Welford.create ();
+    a_delay = Welford.create ();
+    a_p50 = P2.create 0.5;
+    a_p90 = P2.create 0.9;
+    a_scen = Counter.create (n_islands + 1);
+    a_raised_c = Counter.create (n_islands + 1);
+  }
+
+let acc_add k acc (d : Postsilicon.die) =
+  acc.a_dies <- acc.a_dies + 1;
+  if d.Postsilicon.die_meets_uncompensated then acc.a_unc <- acc.a_unc + 1;
+  if d.Postsilicon.die_meets_compensated then acc.a_comp <- acc.a_comp + 1;
+  if d.Postsilicon.die_meets_chip_wide then acc.a_chip <- acc.a_chip + 1;
+  Welford.add acc.a_raised (float_of_int d.Postsilicon.die_raised);
+  Welford.add acc.a_pow_isl (Postsilicon.die_power_islands_mw k d);
+  Welford.add acc.a_pow_chip (Postsilicon.die_power_chip_wide_mw k d);
+  Welford.add acc.a_delay d.Postsilicon.die_worst_low_ns;
+  P2.add acc.a_p50 d.Postsilicon.die_worst_low_ns;
+  P2.add acc.a_p90 d.Postsilicon.die_worst_low_ns;
+  Counter.add acc.a_scen d.Postsilicon.die_detected;
+  Counter.add acc.a_raised_c d.Postsilicon.die_raised
+
+let cell_of_acc cfg ~ix ~iy acc =
+  let dies = float_of_int acc.a_dies in
+  {
+    ix;
+    iy;
+    x_frac = grid_frac cfg.nx ix;
+    y_frac = grid_frac cfg.ny iy;
+    dies = acc.a_dies;
+    yield_uncompensated = float_of_int acc.a_unc /. dies;
+    yield_compensated = float_of_int acc.a_comp /. dies;
+    yield_chip_wide = float_of_int acc.a_chip /. dies;
+    mean_raised = Welford.mean acc.a_raised;
+    scenario_counts = Counter.to_array acc.a_scen;
+    raised_counts = Counter.to_array acc.a_raised_c;
+    mean_power_islands_mw = Welford.mean acc.a_pow_isl;
+    mean_power_chip_wide_mw = Welford.mean acc.a_pow_chip;
+    delay = Welford.summary acc.a_delay;
+    delay_p50_ns = P2.estimate acc.a_p50;
+    delay_p90_ns = P2.estimate acc.a_p90;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                            *)
+
+let run ?pool (t : Flow.t) (v : Flow.variant) cfg =
+  if cfg.nx <= 0 || cfg.ny <= 0 || cfg.dies_per_cell <= 0 || cfg.fields <= 0
+  then invalid_arg "Wafer.run: grid, dies and fields must be positive";
+  if v.Flow.direction <> cfg.direction then
+    invalid_arg "Wafer.run: variant direction does not match the config";
+  let k = Postsilicon.kernel t v in
+  let n_islands = Postsilicon.n_islands k in
+  let pool = match pool with Some p -> p | None -> Pool.shared () in
+  (* One chunk per grid cell; a worker reuses its scratch across every
+     cell it picks up.  All of a cell's dies (over every field replica)
+     run serially inside its chunk in a fixed field-major order, so the
+     per-cell accumulators — including the order-sensitive P^2 markers
+     — are independent of scheduling. *)
+  let accs =
+    Pool.parallel_chunks pool ~chunks:(cfg.nx * cfg.ny)
+      ~init:(fun ~worker:_ -> Postsilicon.scratch k)
+      ~f:(fun sc c ->
+        let ix = c mod cfg.nx and iy = c / cfg.nx in
+        let systematic = Postsilicon.systematic k (cell_position cfg ~ix ~iy) in
+        let acc = acc_create ~n_islands in
+        for field = 0 to cfg.fields - 1 do
+          let rng = Srng.create (cell_seed cfg ~field ~ix ~iy) in
+          for _ = 1 to cfg.dies_per_cell do
+            acc_add k acc (Postsilicon.simulate_die k sc ~systematic rng)
+          done
+        done;
+        acc)
+  in
+  (* Ordered reduction (row-major), so wafer totals are bit-identical
+     no matter how the chunks were scheduled. *)
+  let total = acc_create ~n_islands in
+  let delay_all = Welford.create () in
+  Array.iter
+    (fun acc ->
+      total.a_dies <- total.a_dies + acc.a_dies;
+      total.a_unc <- total.a_unc + acc.a_unc;
+      total.a_comp <- total.a_comp + acc.a_comp;
+      total.a_chip <- total.a_chip + acc.a_chip;
+      Welford.merge ~into:total.a_raised acc.a_raised;
+      Welford.merge ~into:total.a_pow_isl acc.a_pow_isl;
+      Welford.merge ~into:total.a_pow_chip acc.a_pow_chip;
+      Welford.merge ~into:delay_all acc.a_delay;
+      Counter.merge ~into:total.a_scen acc.a_scen)
+    accs;
+  let cells =
+    Array.mapi
+      (fun c acc -> cell_of_acc cfg ~ix:(c mod cfg.nx) ~iy:(c / cfg.nx) acc)
+      accs
+  in
+  let dies = float_of_int total.a_dies in
+  {
+    config = cfg;
+    n_islands;
+    clock_ns = Postsilicon.clock k;
+    cells;
+    dies = total.a_dies;
+    yield_uncompensated = float_of_int total.a_unc /. dies;
+    yield_compensated = float_of_int total.a_comp /. dies;
+    yield_chip_wide = float_of_int total.a_chip /. dies;
+    mean_raised = Welford.mean total.a_raised;
+    scenario_counts = Counter.to_array total.a_scen;
+    mean_power_islands_mw = Welford.mean total.a_pow_isl;
+    mean_power_chip_wide_mw = Welford.mean total.a_pow_chip;
+    delay = Welford.summary delay_all;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stage-graph exposure                                                 *)
+
+let config_label cfg =
+  Printf.sprintf "%dx%d-d%d-f%d-s%d-%s" cfg.nx cfg.ny cfg.dies_per_cell
+    cfg.fields cfg.seed
+    (Island.direction_name cfg.direction)
+
+(* One keyed stage family per flow handle, registered on its graph the
+   first time a sweep is requested (the family cannot be declared in
+   Flow itself: Postsilicon sits above Flow in the module order). *)
+let families_mu = Mutex.create ()
+let families : (Sg.graph * (config, sweep) Sg.keyed) list ref = ref []
+
+let family (t : Flow.t) : (config, sweep) Sg.keyed =
+  let g = Flow.graph t in
+  Mutex.lock families_mu;
+  let f =
+    match List.find_opt (fun (g', _) -> g' == g) !families with
+    | Some (_, f) -> f
+    | None ->
+      let f =
+        Sg.keyed g ~name:"wafer"
+          ~deps:(fun cfg ->
+            [ "sta"; "placed"; "sampler"; "clock";
+              "shifters[" ^ Island.direction_name cfg.direction ^ "]" ])
+          ~key_label:config_label
+          (fun cfg -> run t (Flow.variant t cfg.direction) cfg)
+      in
+      families := (g, f) :: !families;
+      f
+  in
+  Mutex.unlock families_mu;
+  f
+
+let sweep t cfg = Sg.get_keyed (family t) cfg
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+type metric =
+  | Yield_uncompensated
+  | Yield_compensated
+  | Yield_chip_wide
+  | Mean_raised
+  | Delay_p90
+
+let metric_name = function
+  | Yield_uncompensated -> "uncompensated yield"
+  | Yield_compensated -> "compensated yield"
+  | Yield_chip_wide -> "chip-wide yield"
+  | Mean_raised -> "mean islands raised"
+  | Delay_p90 -> "P90 critical delay (ns)"
+
+let metric_value m (c : cell) =
+  match m with
+  | Yield_uncompensated -> c.yield_uncompensated
+  | Yield_compensated -> c.yield_compensated
+  | Yield_chip_wide -> c.yield_chip_wide
+  | Mean_raised -> c.mean_raised
+  | Delay_p90 -> c.delay_p90_ns
+
+let ramp = " .:-=+*#%@"
+
+let render_map s m =
+  let cfg = s.config in
+  let values = Array.map (metric_value m) s.cells in
+  let lo = Array.fold_left Float.min infinity values in
+  let hi = Array.fold_left Float.max neg_infinity values in
+  let char_of v =
+    let t = if hi > lo then (v -. lo) /. (hi -. lo) else 0.0 in
+    let i = int_of_float (t *. float_of_int (String.length ramp - 1)) in
+    ramp.[Stdlib.max 0 (Stdlib.min (String.length ramp - 1) i)]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s over the %dx%d die grid (%.3g..%.3g, ' '=low '@'=high):\n"
+       (metric_name m) cfg.nx cfg.ny lo hi);
+  for iy = cfg.ny - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "  y=%4.2f |" (grid_frac cfg.ny iy));
+    for ix = 0 to cfg.nx - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_char buf (char_of values.((iy * cfg.nx) + ix))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "          ";
+  for ix = 0 to cfg.nx - 1 do
+    Buffer.add_string buf (if ix mod 2 = 0 then " +" else "  ")
+  done;
+  Buffer.add_string buf "  (x: 0 -> 1, lower-left = slow corner A)\n";
+  Buffer.contents buf
+
+let pp fmt s =
+  let cfg = s.config in
+  Format.fprintf fmt
+    "wafer sweep: %dx%d grid x %d dies/cell x %d field(s) = %d dies (%s \
+     slicing, clock %.3f ns)@.\
+    \  timing yield:  uncompensated %.1f%%   islands %.1f%%   chip-wide %.1f%%@.\
+    \  mean islands raised per die: %.2f of %d@.\
+    \  mean power: islands %.2f mW vs chip-wide adaptation %.2f mW (%.1f%% \
+     saved)@.\
+    \  critical delay: mean %.3f ns  sigma %.3f ns  range [%.3f, %.3f] ns@."
+    cfg.nx cfg.ny cfg.dies_per_cell cfg.fields s.dies
+    (Island.direction_name cfg.direction)
+    s.clock_ns
+    (100.0 *. s.yield_uncompensated)
+    (100.0 *. s.yield_compensated)
+    (100.0 *. s.yield_chip_wide)
+    s.mean_raised s.n_islands s.mean_power_islands_mw s.mean_power_chip_wide_mw
+    (100.0 *. (1.0 -. (s.mean_power_islands_mw /. s.mean_power_chip_wide_mw)))
+    s.delay.Stats.mean s.delay.Stats.stddev s.delay.Stats.min s.delay.Stats.max;
+  Format.fprintf fmt "  dies per detected scenario:";
+  Array.iteri
+    (fun i n -> Format.fprintf fmt "  %d VI: %d" i n)
+    s.scenario_counts;
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                          *)
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let json_int_array a =
+  "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+let to_json s =
+  let cfg = s.config in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"grid\": { \"nx\": %d, \"ny\": %d },\n" cfg.nx cfg.ny;
+  add "  \"dies_per_cell\": %d,\n" cfg.dies_per_cell;
+  add "  \"fields\": %d,\n" cfg.fields;
+  add "  \"seed\": %d,\n" cfg.seed;
+  add "  \"direction\": \"%s\",\n" (Island.direction_name cfg.direction);
+  add "  \"n_islands\": %d,\n" s.n_islands;
+  add "  \"clock_ns\": %s,\n" (json_float s.clock_ns);
+  add "  \"wafer\": {\n";
+  add "    \"dies\": %d,\n" s.dies;
+  add "    \"yield_uncompensated\": %s,\n" (json_float s.yield_uncompensated);
+  add "    \"yield_compensated\": %s,\n" (json_float s.yield_compensated);
+  add "    \"yield_chip_wide\": %s,\n" (json_float s.yield_chip_wide);
+  add "    \"mean_raised\": %s,\n" (json_float s.mean_raised);
+  add "    \"scenario_counts\": %s,\n" (json_int_array s.scenario_counts);
+  add "    \"mean_power_islands_mw\": %s,\n" (json_float s.mean_power_islands_mw);
+  add "    \"mean_power_chip_wide_mw\": %s,\n"
+    (json_float s.mean_power_chip_wide_mw);
+  add "    \"delay_ns\": { \"mean\": %s, \"stddev\": %s, \"min\": %s, \"max\": %s }\n"
+    (json_float s.delay.Stats.mean)
+    (json_float s.delay.Stats.stddev)
+    (json_float s.delay.Stats.min)
+    (json_float s.delay.Stats.max);
+  add "  },\n";
+  add "  \"cells\": [\n";
+  Array.iteri
+    (fun i (c : cell) ->
+      add
+        "    { \"ix\": %d, \"iy\": %d, \"x_frac\": %s, \"y_frac\": %s, \
+         \"dies\": %d, \"yield_uncompensated\": %s, \"yield_compensated\": \
+         %s, \"yield_chip_wide\": %s, \"mean_raised\": %s, \
+         \"scenario_counts\": %s, \"raised_counts\": %s, \
+         \"mean_power_islands_mw\": %s, \"mean_power_chip_wide_mw\": %s, \
+         \"delay_mean_ns\": %s, \"delay_stddev_ns\": %s, \"delay_p50_ns\": \
+         %s, \"delay_p90_ns\": %s }%s\n"
+        c.ix c.iy (json_float c.x_frac) (json_float c.y_frac) c.dies
+        (json_float c.yield_uncompensated)
+        (json_float c.yield_compensated)
+        (json_float c.yield_chip_wide)
+        (json_float c.mean_raised)
+        (json_int_array c.scenario_counts)
+        (json_int_array c.raised_counts)
+        (json_float c.mean_power_islands_mw)
+        (json_float c.mean_power_chip_wide_mw)
+        (json_float c.delay.Stats.mean)
+        (json_float c.delay.Stats.stddev)
+        (json_float c.delay_p50_ns)
+        (json_float c.delay_p90_ns)
+        (if i < Array.length s.cells - 1 then "," else ""))
+    s.cells;
+  add "  ]\n}\n";
+  Buffer.contents buf

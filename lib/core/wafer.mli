@@ -1,0 +1,111 @@
+(** Wafer-scale yield engine: 2D die-population sweeps.
+
+    The diagonal {!Postsilicon.run} study samples dies on the A-D line
+    only, but the systematic Lgate map of §4.2 is a full 2D polynomial
+    over the exposure field — population yield is a wafer-level
+    quantity.  This module sweeps a configurable [nx x ny] grid of die
+    positions over the chip (optionally replicated across several
+    exposure fields of a wafer), runs the {!Postsilicon.simulate_die}
+    detect-and-compensate kernel for a batch of dies at every grid
+    point, and reduces each cell with streaming statistics
+    ({!Pvtol_util.Stream_stats}: Welford moments, P-square quantiles,
+    scenario counters) — a 10k-die sweep retains no per-die data.
+
+    Determinism: each grid cell's RNG stream is derived from
+    [(seed, field, ix, iy)] only, cells are reduced in row-major order,
+    and the pool stores chunk results by index — so a sweep is
+    bit-identical for every domain count and traversal schedule.  The
+    per-die physics is the exact code path of {!Postsilicon.run}. *)
+
+type config = {
+  nx : int;               (** grid columns over the chip's x extent *)
+  ny : int;               (** grid rows over the chip's y extent *)
+  dies_per_cell : int;    (** dies simulated per grid cell per field *)
+  fields : int;           (** exposure-field replicas (same systematic
+                              map, independent random draws) *)
+  seed : int;
+  direction : Island.direction;  (** slicing variant being deployed *)
+}
+
+val default_config : config
+(** 8x8 grid, 12 dies per cell, one field, seed 7, vertical slicing. *)
+
+type cell = {
+  ix : int;
+  iy : int;
+  x_frac : float;         (** die origin, fraction of the chip edge *)
+  y_frac : float;
+  dies : int;
+  yield_uncompensated : float;
+  yield_compensated : float;
+  yield_chip_wide : float;
+  mean_raised : float;
+  scenario_counts : int array;   (** dies per detected scenario, 0..n *)
+  raised_counts : int array;     (** dies per final raised level *)
+  mean_power_islands_mw : float;
+  mean_power_chip_wide_mw : float;
+  delay : Pvtol_util.Stats.summary;  (** worst low-Vdd stage delay, ns *)
+  delay_p50_ns : float;   (** P-square median estimate *)
+  delay_p90_ns : float;   (** P-square 90th-percentile estimate *)
+}
+
+type sweep = {
+  config : config;
+  n_islands : int;
+  clock_ns : float;
+  cells : cell array;     (** row-major: [cells.(iy * nx + ix)] *)
+  dies : int;             (** total dies simulated *)
+  yield_uncompensated : float;
+  yield_compensated : float;
+  yield_chip_wide : float;
+  mean_raised : float;
+  scenario_counts : int array;
+  mean_power_islands_mw : float;
+  mean_power_chip_wide_mw : float;
+  delay : Pvtol_util.Stats.summary;
+}
+
+val grid_frac : int -> int -> float
+(** [grid_frac n i]: chip-edge fraction of grid index [i] of [n] — the
+    endpoints-inclusive mapping [i / (n-1)] (0.5 for a 1-wide grid), so
+    cell (0,0) sits exactly at the paper's corner position A. *)
+
+val cell_position : config -> ix:int -> iy:int -> Pvtol_variation.Position.t
+(** Die position of a grid cell ({!Pvtol_variation.Position.at_xy}). *)
+
+val cell_seed : config -> field:int -> ix:int -> iy:int -> int
+(** The RNG seed of one cell's die stream.  Exposed so tests can
+    recompute any cell independently of the sweep. *)
+
+val run : ?pool:Pvtol_util.Pool.t -> Flow.t -> Flow.variant -> config -> sweep
+(** Run the sweep on [pool] (default: the shared pool), one pool chunk
+    per grid cell.  Results are bit-identical for every pool size.
+    [Invalid_argument] if the grid is empty or the variant's direction
+    does not match the config. *)
+
+val sweep : Flow.t -> config -> sweep
+(** Like {!run}, but memoized on the flow's stage graph as the keyed
+    stage [wafer[<nx>x<ny>-d<dies>-f<fields>-s<seed>-<dir>]] — traced
+    and computed at most once per (flow, config), like every other
+    stage. *)
+
+(** {2 Rendering} *)
+
+type metric =
+  | Yield_uncompensated
+  | Yield_compensated
+  | Yield_chip_wide
+  | Mean_raised
+  | Delay_p90
+
+val render_map : sweep -> metric -> string
+(** ASCII heat map of a per-cell metric over the grid (lower-left =
+    the slow corner A). *)
+
+val pp : Format.formatter -> sweep -> unit
+(** Wafer-level summary: yields, mean raised, power, delay spread and
+    the scenario histogram. *)
+
+val to_json : sweep -> string
+(** The whole sweep as a JSON document (wafer aggregates plus one
+    object per cell). *)

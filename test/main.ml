@@ -14,6 +14,7 @@ let () =
       Test_power.suite;
       Test_core.suite;
       Test_extensions.suite;
+      Test_postsilicon.suite;
       Test_properties.suite;
       Test_misc.suite;
     ]

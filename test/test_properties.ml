@@ -243,6 +243,101 @@ let prop_island_domains_partition =
       done;
       !ok)
 
+(* --- streaming statistics vs the exact array-based reference --- *)
+
+let samples_gen =
+  (* Non-empty float arrays over a few orders of magnitude, including
+     negative values and repeats. *)
+  QCheck.(
+    array_of_size Gen.(1 -- 200)
+      (oneof [ float_range (-5.0) 5.0; float_range 100.0 1000.0 ]))
+
+let prop_welford_matches_summarize =
+  QCheck.Test.make ~name:"welford matches the exact summary" ~count:200
+    samples_gen
+    (fun xs ->
+      let module W = Pvtol_util.Stream_stats.Welford in
+      let w = W.create () in
+      Array.iter (W.add w) xs;
+      let s = Pvtol_util.Stats.summarize xs
+      and ws = W.summary w in
+      let eq a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a) in
+      ws.Pvtol_util.Stats.n = s.Pvtol_util.Stats.n
+      && eq s.Pvtol_util.Stats.mean ws.Pvtol_util.Stats.mean
+      && eq s.Pvtol_util.Stats.stddev ws.Pvtol_util.Stats.stddev
+      && s.Pvtol_util.Stats.min = ws.Pvtol_util.Stats.min
+      && s.Pvtol_util.Stats.max = ws.Pvtol_util.Stats.max)
+
+let prop_welford_merge =
+  QCheck.Test.make ~name:"welford split+merge equals one stream" ~count:200
+    QCheck.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      let module W = Pvtol_util.Stream_stats.Welford in
+      let wa = W.create () and wb = W.create () and whole = W.create () in
+      Array.iter (W.add wa) xs;
+      Array.iter (W.add wb) ys;
+      Array.iter (W.add whole) xs;
+      Array.iter (W.add whole) ys;
+      W.merge ~into:wa wb;
+      let eq a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a) in
+      W.count wa = W.count whole
+      && eq (W.mean whole) (W.mean wa)
+      && eq (W.variance whole) (W.variance wa)
+      && W.min wa = W.min whole
+      && W.max wa = W.max whole)
+
+let prop_p2_exact_small =
+  QCheck.Test.make ~name:"p2 is exact for five or fewer samples" ~count:200
+    QCheck.(pair (array_of_size Gen.(1 -- 5) (float_range (-10.0) 10.0))
+              (float_range 0.05 0.95))
+    (fun (xs, p) ->
+      let module P2 = Pvtol_util.Stream_stats.P2 in
+      let q = P2.create p in
+      Array.iter (P2.add q) xs;
+      Float.abs (P2.estimate q -. Pvtol_util.Stats.quantile xs p) <= 1e-12)
+
+let prop_p2_estimates_quantile =
+  (* The marker estimate is approximate: on 50..400 well-behaved
+     samples it stays within 15% of the sample range of the exact
+     order-statistic quantile (the observed worst case is far below
+     this; the bound documents the estimator's contract, not its
+     typical accuracy). *)
+  QCheck.Test.make ~name:"p2 tracks the exact quantile" ~count:100
+    QCheck.(triple (int_bound 100_000)
+              (int_range 50 400)
+              (oneofl [ 0.25; 0.5; 0.75; 0.9 ]))
+    (fun (seed, n, p) ->
+      let module P2 = Pvtol_util.Stream_stats.P2 in
+      let rng = Srng.create seed in
+      let xs =
+        Array.init n (fun _ ->
+            (* Sum of three uniforms: smooth, unimodal. *)
+            Srng.uniform rng +. Srng.uniform rng +. Srng.uniform rng)
+      in
+      let q = P2.create p in
+      Array.iter (P2.add q) xs;
+      let exact = Pvtol_util.Stats.quantile xs p in
+      let range =
+        Array.fold_left Float.max neg_infinity xs
+        -. Array.fold_left Float.min infinity xs
+      in
+      Float.abs (P2.estimate q -. exact) <= 0.15 *. range)
+
+let prop_counter_merge =
+  QCheck.Test.make ~name:"counter merge equals concatenated counts" ~count:200
+    QCheck.(pair (list (int_range (-2) 8)) (list (int_range (-2) 8)))
+    (fun (xs, ys) ->
+      let module C = Pvtol_util.Stream_stats.Counter in
+      let range = 6 in
+      let ca = C.create range and cb = C.create range and whole = C.create range in
+      List.iter (C.add ca) xs;
+      List.iter (C.add cb) ys;
+      List.iter (C.add whole) xs;
+      List.iter (C.add whole) ys;
+      C.merge ~into:ca cb;
+      C.to_array ca = C.to_array whole
+      && C.total ca = List.length xs + List.length ys)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -256,4 +351,9 @@ let suite =
       qcheck prop_spef_roundtrip;
       qcheck prop_liberty_roundtrip_fuzzed;
       qcheck prop_island_domains_partition;
+      qcheck prop_welford_matches_summarize;
+      qcheck prop_welford_merge;
+      qcheck prop_p2_exact_small;
+      qcheck prop_p2_estimates_quantile;
+      qcheck prop_counter_merge;
     ] )

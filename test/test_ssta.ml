@@ -255,6 +255,102 @@ let test_analytic_matches_mc () =
       | _ -> Alcotest.fail "missing stage")
     [ Stage.Decode; Stage.Execute; Stage.Writeback ]
 
+let test_mc_off_diagonal () =
+  (* [at_xy] on the x=y line is the same position as [at_fraction]:
+     identical RNG protocol => bit-identical Monte-Carlo output. *)
+  let r1 = run (Position.at_fraction 0.25) in
+  let r2 = run (Position.at_xy ~x_frac:0.25 ~y_frac:0.25 ()) in
+  Alcotest.(check bool) "diagonal at_xy bit-identical" true
+    (r1.MC.worst_samples = r2.MC.worst_samples);
+  List.iter2
+    (fun (a : MC.stage_stats) (b : MC.stage_stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s samples bit-identical" (Stage.name a.MC.stage))
+        true
+        (a.MC.samples = b.MC.samples))
+    r1.MC.stages r2.MC.stages;
+  (* Off the diagonal nothing degenerates: full stage coverage, finite
+     positive spreads, a populated criticality table and a sane
+     scenario ladder. *)
+  List.iter
+    (fun (x_frac, y_frac) ->
+      let r = run ~samples:80 (Position.at_xy ~x_frac ~y_frac ()) in
+      Alcotest.(check int) "all analyzed stages present" 4
+        (List.length r.MC.stages);
+      List.iter
+        (fun (ss : MC.stage_stats) ->
+          let s = ss.MC.summary in
+          Alcotest.(check bool) "finite positive spread" true
+            (Float.is_finite s.Pvtol_util.Stats.mean
+            && s.Pvtol_util.Stats.stddev > 0.0
+            && s.Pvtol_util.Stats.min < s.Pvtol_util.Stats.max))
+        r.MC.stages;
+      Alcotest.(check bool) "criticality table populated" true
+        (Hashtbl.length r.MC.endpoint_critical_count > 0);
+      Alcotest.(check int) "no violation at huge clock" 0
+        (Scenario.classify ~clock:1e9 r).Scenario.index;
+      Alcotest.(check int) "all violate at tiny clock" 3
+        (Scenario.classify ~clock:1e-9 r).Scenario.index)
+    [ (0.1, 0.9); (0.9, 0.1); (0.0, 1.0) ];
+  (* Both coordinates move delay: sliding either axis toward the fast
+     corner speeds every stage up (the systematic map decays in x AND
+     y — a diagonal-only model would miss one of these). *)
+  let check_faster label slow fast =
+    List.iter2
+      (fun (s : MC.stage_stats) (f : MC.stage_stats) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s faster" label (Stage.name s.MC.stage))
+          true
+          (f.MC.summary.Pvtol_util.Stats.mean
+          < s.MC.summary.Pvtol_util.Stats.mean))
+      slow.MC.stages fast.MC.stages
+  in
+  check_faster "x axis"
+    (run (Position.at_xy ~x_frac:0.0 ~y_frac:0.5 ()))
+    (run (Position.at_xy ~x_frac:1.0 ~y_frac:0.5 ()));
+  check_faster "y axis"
+    (run (Position.at_xy ~x_frac:0.5 ~y_frac:0.0 ()))
+    (run (Position.at_xy ~x_frac:0.5 ~y_frac:1.0 ()))
+
+let test_analytic_mc_differential () =
+  (* Differential oracle: the single-traversal analytic SSTA against
+     the Monte-Carlo sample moments, per stage, at all four named die
+     positions.  Tolerances (documented contract, not typical error):
+     stage means within 1% relative (observed worst 0.51% on this
+     design), stage sigmas within 60% relative (observed worst 49% on
+     Execute — the Clark max over many near-identical paths
+     underestimates spread, and the MC sigma itself carries sampling
+     noise at 150 samples). *)
+  let module An = Pvtol_ssta.Analytic in
+  let _, _, p, sta, sampler = Lazy.force env in
+  List.iter
+    (fun pos ->
+      let mc = run ~samples:150 pos in
+      let systematic = Sampler.systematic_lgates sampler p pos in
+      let an = An.analyze ~sta ~sampler ~systematic () in
+      List.iter
+        (fun (ss : MC.stage_stats) ->
+          match List.assoc_opt ss.MC.stage an.An.stage_delay with
+          | None ->
+            Alcotest.failf "%s: stage %s missing from analytic result"
+              pos.Position.label (Stage.name ss.MC.stage)
+          | Some g ->
+            let mc_mean = ss.MC.summary.Pvtol_util.Stats.mean in
+            let mc_sigma = ss.MC.summary.Pvtol_util.Stats.stddev in
+            let an_sigma = sqrt g.An.var in
+            let d_mean = Float.abs (g.An.mean -. mc_mean) /. mc_mean in
+            let d_sigma = Float.abs (an_sigma -. mc_sigma) /. mc_sigma in
+            if d_mean >= 0.01 then
+              Alcotest.failf "%s/%s: mean off by %.2f%% (analytic %g, mc %g)"
+                pos.Position.label (Stage.name ss.MC.stage) (100.0 *. d_mean)
+                g.An.mean mc_mean;
+            if d_sigma >= 0.60 then
+              Alcotest.failf "%s/%s: sigma off by %.1f%% (analytic %g, mc %g)"
+                pos.Position.label (Stage.name ss.MC.stage) (100.0 *. d_sigma)
+                an_sigma mc_sigma)
+        mc.MC.stages)
+    Position.named
+
 let test_sensors () =
   let _, nl, _, _, _ = Lazy.force env in
   let r = run ~samples:80 Position.point_a in
@@ -290,4 +386,7 @@ let suite =
       Alcotest.test_case "sensor selection" `Quick test_sensors;
       Alcotest.test_case "clark max moments" `Quick test_analytic_clark_max;
       Alcotest.test_case "analytic vs MC" `Quick test_analytic_matches_mc;
+      Alcotest.test_case "mc off-diagonal positions" `Quick test_mc_off_diagonal;
+      Alcotest.test_case "analytic vs MC differential (A-D)" `Quick
+        test_analytic_mc_differential;
     ] )
