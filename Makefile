@@ -1,6 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick trace-quick fmt-check clean
+.PHONY: all build test bench bench-quick trace-quick telemetry-quick \
+	fmt-check clean
 
 all: build
 
@@ -25,6 +26,13 @@ bench-quick:
 # leaving trace.json in the working directory.
 trace-quick:
 	dune exec bin/pvtol.exe -- --quick --trace
+
+# Telemetry smoke: run the scaled-down scenarios exhibit with metrics
+# on, leaving metrics.json and a Chrome trace (chrome://tracing /
+# Perfetto) in the working directory.
+telemetry-quick:
+	dune exec bin/pvtol.exe -- scenarios --quick \
+	  --metrics-out metrics.json --trace-chrome trace-chrome.json
 
 # `dune build @fmt` needs the ocamlformat binary; skip gracefully where
 # it isn't installed (see .ocamlformat).

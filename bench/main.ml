@@ -38,6 +38,7 @@ module Power = Pvtol_power.Power
 module Gatesim = Pvtol_power.Gatesim
 module Srng = Pvtol_util.Srng
 module Pool = Pvtol_util.Pool
+module Metrics = Pvtol_util.Metrics
 module MC = Pvtol_ssta.Monte_carlo
 module Wafer = Pvtol_core.Wafer
 
@@ -146,6 +147,55 @@ let print_wafer_report r =
     \  speedup: %.2fx\n%!"
     nx ny r.wafer_dies r.wafer_serial_dps r.wafer_domains r.wafer_parallel_dps
     (wafer_speedup r)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: MC throughput with metrics off vs on             *)
+
+type telemetry_report = {
+  tel_samples : int;
+  tel_disabled_sps : float;  (* samples / second, metrics disabled *)
+  tel_enabled_sps : float;   (* samples / second, metrics enabled *)
+}
+
+let telemetry_overhead_pct r =
+  100.0 *. (1.0 -. (r.tel_enabled_sps /. r.tel_disabled_sps))
+
+let telemetry_throughput ~quick () =
+  let t = context ~quick () in
+  let samples = (Flow.config t).Flow.mc_samples in
+  let seed = (Flow.config t).Flow.mc_seed in
+  let pool = Pool.shared () in
+  let time_run () =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (MC.run
+         ~config:{ MC.samples; seed }
+         ~pool ~sampler:(Flow.sampler t) ~sta:(Flow.sta t)
+         ~placement:(Flow.placement t) ~position:Position.point_b ());
+    float_of_int samples /. (Unix.gettimeofday () -. t0)
+  in
+  (* Best of three timings per mode: a single MC run is short enough
+     that scheduler noise would otherwise dominate the comparison. *)
+  let best () =
+    Float.max (time_run ()) (Float.max (time_run ()) (time_run ()))
+  in
+  let was = Metrics.enabled () in
+  Metrics.set_enabled false;
+  ignore (time_run ());  (* warm both code paths before timing *)
+  let tel_disabled_sps = best () in
+  Metrics.set_enabled true;
+  let tel_enabled_sps = best () in
+  Metrics.set_enabled was;
+  { tel_samples = samples; tel_disabled_sps; tel_enabled_sps }
+
+let print_telemetry_report r =
+  Printf.printf
+    "\nTelemetry overhead (Monte-Carlo, %d samples):\n\
+    \  metrics disabled  %10.1f samples/s\n\
+    \  metrics enabled   %10.1f samples/s\n\
+    \  overhead: %.2f%%\n%!"
+    r.tel_samples r.tel_disabled_sps r.tel_enabled_sps
+    (telemetry_overhead_pct r)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel kernels                                                     *)
@@ -259,7 +309,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~file rows mc wf =
+let write_json ~file rows mc wf tel =
   let oc = open_out file in
   output_string oc "{\n  \"kernels_ns_per_run\": {\n";
   let n = List.length rows in
@@ -288,9 +338,18 @@ let write_json ~file rows mc wf =
     \    \"serial_dies_per_sec\": %.1f,\n\
     \    \"parallel_dies_per_sec\": %.1f,\n\
     \    \"speedup\": %.3f\n\
-    \  }\n}\n"
+    \  },\n"
     nx ny wf.wafer_dies wf.wafer_domains wf.wafer_serial_dps
     wf.wafer_parallel_dps (wafer_speedup wf);
+  Printf.fprintf oc
+    "  \"telemetry\": {\n\
+    \    \"samples\": %d,\n\
+    \    \"disabled_samples_per_sec\": %.1f,\n\
+    \    \"enabled_samples_per_sec\": %.1f,\n\
+    \    \"overhead_pct\": %.3f\n\
+    \  }\n}\n"
+    tel.tel_samples tel.tel_disabled_sps tel.tel_enabled_sps
+    (telemetry_overhead_pct tel);
   close_out oc;
   Printf.printf "[wrote %s]\n%!" file
 
@@ -307,7 +366,9 @@ let kernels ~quick ~json () =
   print_mc_report mc;
   let wf = wafer_throughput ~quick () in
   print_wafer_report wf;
-  if json then write_json ~file:"BENCH_ssta.json" rows mc wf
+  let tel = telemetry_throughput ~quick () in
+  print_telemetry_report tel;
+  if json then write_json ~file:"BENCH_ssta.json" rows mc wf tel
 
 (* ------------------------------------------------------------------ *)
 

@@ -7,6 +7,7 @@ module Flow = Pvtol_core.Flow
 module Island = Pvtol_core.Island
 module Wafer = Pvtol_core.Wafer
 module Trace = Pvtol_util.Trace
+module Metrics = Pvtol_util.Metrics
 module Vex_core = Pvtol_vex.Vex_core
 module Netlist = Pvtol_netlist.Netlist
 open Cmdliner
@@ -39,6 +40,24 @@ let trace_out =
   let doc = "File the JSON trace is written to when $(b,--trace) is set." in
   Arg.(value & opt string "trace.json" & info [ "trace-out" ] ~doc ~docv:"FILE")
 
+let metrics_out =
+  let doc =
+    "Enable the metrics registry and write a snapshot to $(docv) after \
+     the run (Prometheus text if the name ends in .prom or .txt, JSON \
+     otherwise).  Also prints a one-line summary of the non-zero \
+     counters to stderr."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+
+let trace_chrome =
+  let doc =
+    "Write the stage trace as Chrome trace-event JSON to $(docv) (load \
+     in chrome://tracing or Perfetto; one track per domain)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-chrome" ] ~doc ~docv:"FILE")
+
 let config_of ~quick ~samples ~seed =
   let base = if quick then Flow.quick_config else Flow.default_config in
   let base =
@@ -48,15 +67,31 @@ let config_of ~quick ~samples ~seed =
 
 (* Run [f] on a fresh flow handle; with [--trace], print the span
    report and write the JSON artifact afterwards (also when a stage
-   fails, so the trace shows how far the run got). *)
-let with_flow ~quick ~samples ~seed ~trace ~trace_out f =
+   fails, so the trace shows how far the run got).  [--metrics-out] and
+   [--trace-chrome] write their artifacts on the same
+   always-also-on-failure basis. *)
+let with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
+    ~trace_chrome f =
+  if metrics_out <> None then Metrics.set_enabled true;
   let t = Flow.prepare ~config:(config_of ~quick ~samples ~seed) () in
   let emit () =
     if trace then begin
       Format.eprintf "%a@?" Trace.pp (Flow.trace t);
       Trace.write_json (Flow.trace t) trace_out;
       Format.eprintf "trace written to %s@." trace_out
-    end
+    end;
+    (match trace_chrome with
+    | None -> ()
+    | Some file ->
+      Trace.write_chrome_json (Flow.trace t) file;
+      Format.eprintf "chrome trace written to %s@." file);
+    match metrics_out with
+    | None -> ()
+    | Some file ->
+      Metrics.write ~file;
+      Format.eprintf "%s@.metrics written to %s@."
+        (Metrics.summary_line (Metrics.snapshot ()))
+        file
   in
   match f t with
   | () -> emit ()
@@ -68,13 +103,15 @@ let with_flow ~quick ~samples ~seed ~trace ~trace_out f =
 (* Exhibit subcommands                                                  *)
 
 let exhibit_cmd name doc render =
-  let run quick samples seed trace trace_out =
-    with_flow ~quick ~samples ~seed ~trace ~trace_out (fun t ->
-        print_string (render t))
+  let run quick samples seed trace trace_out metrics_out trace_chrome =
+    with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
+      ~trace_chrome (fun t -> print_string (render t))
   in
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(const run $ quick $ samples $ seed $ trace_flag $ trace_out)
+    Term.(
+      const run $ quick $ samples $ seed $ trace_flag $ trace_out
+      $ metrics_out $ trace_chrome)
 
 let fig2_cmd =
   let run () = print_string (Experiments.fig2_lgate_map ()) in
@@ -189,13 +226,45 @@ let wafer_cmd =
     let doc = "Also write the whole sweep (wafer + per-cell) as JSON." in
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
-  let run quick samples seed trace trace_out (nx, ny) dies_per_cell fields
-      wafer_seed direction json_file =
-    with_flow ~quick ~samples ~seed ~trace ~trace_out (fun t ->
+  let progress =
+    let doc =
+      "Stream per-cell progress and an ETA to stderr while the sweep \
+       runs (no effect when the sweep is already memoized)."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let run quick samples seed trace trace_out metrics_out trace_chrome (nx, ny)
+      dies_per_cell fields wafer_seed direction json_file progress =
+    with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
+      ~trace_chrome (fun t ->
         let cfg =
           { Wafer.nx; ny; dies_per_cell; fields; seed = wafer_seed; direction }
         in
-        let s = Wafer.sweep t cfg in
+        (* Cells complete on pool workers; one mutex keeps the \r
+           status line whole.  ETA extrapolates the mean cell time. *)
+        let on_cell =
+          if not progress then None
+          else begin
+            let mu = Mutex.create () in
+            let t0 = Unix.gettimeofday () in
+            Some
+              (fun ~completed ~total ->
+                Mutex.lock mu;
+                let dt = Unix.gettimeofday () -. t0 in
+                let eta =
+                  dt /. float_of_int completed
+                  *. float_of_int (total - completed)
+                in
+                Printf.eprintf "\rwafer: %d/%d cells (%.0f%%), %.1fs, ETA %.1fs%s"
+                  completed total
+                  (100.0 *. float_of_int completed /. float_of_int total)
+                  dt eta
+                  (if completed = total then "\n" else "");
+                flush stderr;
+                Mutex.unlock mu)
+          end
+        in
+        let s = Wafer.sweep ?on_cell t cfg in
         Format.printf "%a@." Wafer.pp s;
         print_string (Wafer.render_map s Wafer.Yield_uncompensated);
         print_newline ();
@@ -219,8 +288,9 @@ let wafer_cmd =
           per-cell and wafer-level yield, compensation and power with \
           streaming statistics.")
     Term.(
-      const run $ quick $ samples $ seed $ trace_flag $ trace_out $ grid $ dies
-      $ fields $ wafer_seed $ direction $ json_file)
+      const run $ quick $ samples $ seed $ trace_flag $ trace_out
+      $ metrics_out $ trace_chrome $ grid $ dies $ fields $ wafer_seed
+      $ direction $ json_file $ progress)
 
 (* ------------------------------------------------------------------ *)
 (* Design-file dumps                                                    *)
@@ -230,8 +300,9 @@ let outdir =
   Arg.(value & opt string "." & info [ "o"; "outdir" ] ~doc)
 
 let dump_cmd =
-  let run quick outdir trace trace_out =
-    with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out (fun t ->
+  let run quick outdir trace trace_out metrics_out trace_chrome =
+    with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out ~metrics_out
+      ~trace_chrome (fun t ->
         let nl = Flow.netlist t in
         let path name = Filename.concat outdir name in
         Pvtol_stdcell.Liberty.write_file (path "pvtol65lp.lib") nl.Netlist.lib;
@@ -253,10 +324,13 @@ let dump_cmd =
          "Run the front-end flow and write the Liberty library, DEF \
           placement, SDF delays, structural Verilog and SPEF parasitics \
           of the prepared design.")
-    Term.(const run $ quick $ outdir $ trace_flag $ trace_out)
+    Term.(
+      const run $ quick $ outdir $ trace_flag $ trace_out $ metrics_out
+      $ trace_chrome)
 
-let summary_run quick trace trace_out =
-  with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out (fun t ->
+let summary_run quick trace trace_out metrics_out trace_chrome =
+  with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out ~metrics_out
+    ~trace_chrome (fun t ->
       Format.printf "%a" Netlist.pp_summary (Flow.netlist t);
       Format.printf "clock: %.3f ns (%.1f MHz)@." (Flow.clock t)
         (1000.0 /. Flow.clock t);
@@ -267,7 +341,9 @@ let summary_run quick trace trace_out =
 let summary_cmd =
   Cmd.v
     (Cmd.info "summary" ~doc:"Prepared-design summary and scenario ladder.")
-    Term.(const summary_run $ quick $ trace_flag $ trace_out)
+    Term.(
+      const summary_run $ quick $ trace_flag $ trace_out $ metrics_out
+      $ trace_chrome)
 
 let main =
   let doc =
@@ -278,7 +354,10 @@ let main =
      [pvtol --quick --trace] reports the prepared design plus its stage
      trace. *)
   Cmd.group
-    ~default:Term.(const summary_run $ quick $ trace_flag $ trace_out)
+    ~default:
+      Term.(
+        const summary_run $ quick $ trace_flag $ trace_out $ metrics_out
+        $ trace_chrome)
     (Cmd.info "pvtol" ~version:"1.0.0" ~doc)
     (cmds_exhibits @ [ wafer_cmd; dump_cmd; summary_cmd ])
 

@@ -5,6 +5,8 @@
 module Sg = Stage
 module Trace = Pvtol_util.Trace
 module Pool = Pvtol_util.Pool
+module Metrics = Pvtol_util.Metrics
+module Log = Pvtol_util.Log
 open Pvtol_netlist
 module Vex_core = Pvtol_vex.Vex_core
 module Floorplan = Pvtol_place.Floorplan
@@ -116,7 +118,12 @@ let growth_targets =
     { Slicing.scenario_index = 3; position = Position.point_a };
   ]
 
+let m_prepares = Metrics.counter "flow_prepares_total"
+
 let prepare ?(config = default_config) () =
+  Metrics.incr m_prepares;
+  Log.debug "flow: preparing stage graph (mc_samples=%d, place_seed=%d)"
+    config.mc_samples config.place_seed;
   let g = Sg.create () in
   let design_n =
     Sg.node g ~name:"design" (fun () -> Vex_core.build config.vex)

@@ -4,6 +4,9 @@ module Placement = Pvtol_place.Placement
 module Incremental = Pvtol_place.Incremental
 module Cell_lib = Pvtol_stdcell.Cell
 module Kind = Pvtol_stdcell.Kind
+module Metrics = Pvtol_util.Metrics
+
+let m_shifters = Metrics.counter "level_shifters_inserted_total"
 
 type t = {
   netlist : Netlist.t;
@@ -76,6 +79,7 @@ let insert partition placement (nl : Netlist.t) =
     Cell_lib.find nl.Netlist.lib Kind.Ls drive
   in
   let n_ls = List.length cs in
+  Metrics.add m_shifters n_ls;
   (* Mutable copies for surgery. *)
   let cells =
     Array.init (n_old_cells + n_ls) (fun i ->

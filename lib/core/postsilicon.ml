@@ -5,6 +5,10 @@ module Position = Pvtol_variation.Position
 module Power = Pvtol_power.Power
 module Placement = Pvtol_place.Placement
 module Srng = Pvtol_util.Srng
+module Metrics = Pvtol_util.Metrics
+
+let m_dies = Metrics.counter "postsilicon_dies_total"
+let m_raised = Metrics.counter "postsilicon_islands_raised_total"
 
 type chip = {
   diagonal_frac : float;
@@ -176,6 +180,8 @@ let simulate_die k sc ~systematic rng =
   let raised, meets_compensated = settle (min detected k.n_islands) in
   analyze_with (fun _ -> k.high);
   let meets_chip_wide = violating_stages () = 0 in
+  Metrics.incr m_dies;
+  Metrics.add m_raised raised;
   {
     die_violating = violating;
     die_detected = detected;

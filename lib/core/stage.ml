@@ -1,6 +1,13 @@
 (* Lazy memoized stage graph.  See stage.mli for the contract. *)
 
 module Trace = Pvtol_util.Trace
+module Metrics = Pvtol_util.Metrics
+
+(* Memo hits vs. computes: hit = the cell was already Done/Failed when
+   forced; compute = this force ran the stage function.  Waiting on a
+   Running cell counts as neither (the computing force owns it). *)
+let m_memo_hits = Metrics.counter "stage_memo_hits_total"
+let m_computes = Metrics.counter "stage_computes_total"
 
 type error = {
   stage : string;
@@ -61,12 +68,14 @@ let new_cell () =
    result; re-entrant forcing from the same domain is a dependency
    cycle. *)
 let force_cell g cell ~name ~deps compute =
-  let rec await () =
+  let rec await ~first =
     match cell.state with
     | Done v ->
+      if first then Metrics.incr m_memo_hits;
       Mutex.unlock cell.lock;
       v
     | Failed e ->
+      if first then Metrics.incr m_memo_hits;
       Mutex.unlock cell.lock;
       raise (Stage_error e)
     | Running ->
@@ -77,8 +86,9 @@ let force_cell g cell ~name ~deps compute =
         raise (Stage_error { stage = name; chain; message = "dependency cycle" })
       end;
       Condition.wait cell.cond cell.lock;
-      await ()
+      await ~first:false
     | Pending ->
+      Metrics.incr m_computes;
       cell.state <- Running;
       Mutex.unlock cell.lock;
       let stack = Domain.DLS.get stack_key in
@@ -110,7 +120,7 @@ let force_cell g cell ~name ~deps compute =
         raise (Stage_error e))
   in
   Mutex.lock cell.lock;
-  await ()
+  await ~first:true
 
 type 'a node = {
   graph : graph;

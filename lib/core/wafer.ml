@@ -12,6 +12,10 @@ module Welford = Stream_stats.Welford
 module P2 = Stream_stats.P2
 module Counter = Stream_stats.Counter
 module Position = Pvtol_variation.Position
+module Metrics = Pvtol_util.Metrics
+
+let m_cells = Metrics.counter "wafer_cells_total"
+let m_wafer_dies = Metrics.counter "wafer_dies_total"
 
 type config = {
   nx : int;
@@ -148,7 +152,7 @@ let cell_of_acc cfg ~ix ~iy acc =
 (* ------------------------------------------------------------------ *)
 (* The sweep                                                            *)
 
-let run ?pool (t : Flow.t) (v : Flow.variant) cfg =
+let run ?pool ?on_cell (t : Flow.t) (v : Flow.variant) cfg =
   if cfg.nx <= 0 || cfg.ny <= 0 || cfg.dies_per_cell <= 0 || cfg.fields <= 0
   then invalid_arg "Wafer.run: grid, dies and fields must be positive";
   if v.Flow.direction <> cfg.direction then
@@ -156,13 +160,15 @@ let run ?pool (t : Flow.t) (v : Flow.variant) cfg =
   let k = Postsilicon.kernel t v in
   let n_islands = Postsilicon.n_islands k in
   let pool = match pool with Some p -> p | None -> Pool.shared () in
+  let total_cells = cfg.nx * cfg.ny in
+  let completed = Atomic.make 0 in
   (* One chunk per grid cell; a worker reuses its scratch across every
      cell it picks up.  All of a cell's dies (over every field replica)
      run serially inside its chunk in a fixed field-major order, so the
      per-cell accumulators — including the order-sensitive P^2 markers
      — are independent of scheduling. *)
   let accs =
-    Pool.parallel_chunks pool ~chunks:(cfg.nx * cfg.ny)
+    Pool.parallel_chunks pool ~chunks:total_cells
       ~init:(fun ~worker:_ -> Postsilicon.scratch k)
       ~f:(fun sc c ->
         let ix = c mod cfg.nx and iy = c / cfg.nx in
@@ -174,6 +180,16 @@ let run ?pool (t : Flow.t) (v : Flow.variant) cfg =
             acc_add k acc (Postsilicon.simulate_die k sc ~systematic rng)
           done
         done;
+        Metrics.incr m_cells;
+        Metrics.add m_wafer_dies acc.a_dies;
+        (* Progress callbacks fire from whichever domain finished the
+           cell; the count is an Atomic so it is monotone across them.
+           A raising callback would poison the sweep — swallow. *)
+        (match on_cell with
+        | None -> ()
+        | Some f -> (
+          let done_ = 1 + Atomic.fetch_and_add completed 1 in
+          try f ~completed:done_ ~total:total_cells with _ -> ()));
         acc)
   in
   (* Ordered reduction (row-major), so wafer totals are bit-identical
@@ -224,32 +240,52 @@ let config_label cfg =
 
 (* One keyed stage family per flow handle, registered on its graph the
    first time a sweep is requested (the family cannot be declared in
-   Flow itself: Postsilicon sits above Flow in the module order). *)
-let families_mu = Mutex.create ()
-let families : (Sg.graph * (config, sweep) Sg.keyed) list ref = ref []
+   Flow itself: Postsilicon sits above Flow in the module order).
 
-let family (t : Flow.t) : (config, sweep) Sg.keyed =
+   Each family carries a progress-callback slot read by the compute
+   closure at compute time: {!sweep} installs its [?on_cell] around the
+   force.  A memoized re-force never computes, so progress only streams
+   the first time a (flow, config) sweep actually runs — which is the
+   only time there is progress to report. *)
+type on_cell = completed:int -> total:int -> unit
+
+let families_mu = Mutex.create ()
+
+let families :
+    (Sg.graph * ((config, sweep) Sg.keyed * on_cell option ref)) list ref =
+  ref []
+
+let family (t : Flow.t) : (config, sweep) Sg.keyed * on_cell option ref =
   let g = Flow.graph t in
   Mutex.lock families_mu;
   let f =
     match List.find_opt (fun (g', _) -> g' == g) !families with
     | Some (_, f) -> f
     | None ->
+      let cbref = ref None in
       let f =
         Sg.keyed g ~name:"wafer"
           ~deps:(fun cfg ->
             [ "sta"; "placed"; "sampler"; "clock";
               "shifters[" ^ Island.direction_name cfg.direction ^ "]" ])
           ~key_label:config_label
-          (fun cfg -> run t (Flow.variant t cfg.direction) cfg)
+          (fun cfg -> run ?on_cell:!cbref t (Flow.variant t cfg.direction) cfg)
       in
-      families := (g, f) :: !families;
-      f
+      families := (g, (f, cbref)) :: !families;
+      (f, cbref)
   in
   Mutex.unlock families_mu;
   f
 
-let sweep t cfg = Sg.get_keyed (family t) cfg
+let sweep ?on_cell t cfg =
+  let f, cbref = family t in
+  match on_cell with
+  | None -> Sg.get_keyed f cfg
+  | Some _ ->
+    cbref := on_cell;
+    Fun.protect
+      ~finally:(fun () -> cbref := None)
+      (fun () -> Sg.get_keyed f cfg)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                            *)

@@ -77,17 +77,24 @@ val cell_seed : config -> field:int -> ix:int -> iy:int -> int
 (** The RNG seed of one cell's die stream.  Exposed so tests can
     recompute any cell independently of the sweep. *)
 
-val run : ?pool:Pvtol_util.Pool.t -> Flow.t -> Flow.variant -> config -> sweep
+val run :
+  ?pool:Pvtol_util.Pool.t ->
+  ?on_cell:(completed:int -> total:int -> unit) ->
+  Flow.t -> Flow.variant -> config -> sweep
 (** Run the sweep on [pool] (default: the shared pool), one pool chunk
     per grid cell.  Results are bit-identical for every pool size.
-    [Invalid_argument] if the grid is empty or the variant's direction
-    does not match the config. *)
+    [on_cell] fires after each grid cell completes, from whichever
+    domain finished it, with a monotone completed count — exceptions it
+    raises are swallowed.  [Invalid_argument] if the grid is empty or
+    the variant's direction does not match the config. *)
 
-val sweep : Flow.t -> config -> sweep
+val sweep :
+  ?on_cell:(completed:int -> total:int -> unit) -> Flow.t -> config -> sweep
 (** Like {!run}, but memoized on the flow's stage graph as the keyed
     stage [wafer[<nx>x<ny>-d<dies>-f<fields>-s<seed>-<dir>]] — traced
     and computed at most once per (flow, config), like every other
-    stage. *)
+    stage.  [on_cell] only streams on the force that actually computes;
+    a memoized hit returns at once with no progress to report. *)
 
 (** {2 Rendering} *)
 

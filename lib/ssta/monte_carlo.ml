@@ -6,6 +6,10 @@ module Srng = Pvtol_util.Srng
 module Stats = Pvtol_util.Stats
 module Fit = Pvtol_util.Fit
 module Pool = Pvtol_util.Pool
+module Metrics = Pvtol_util.Metrics
+
+let m_samples = Metrics.counter "mc_samples_total"
+let m_mc_chunks = Metrics.counter "mc_chunks_total"
 
 type config = { samples : int; seed : int }
 
@@ -91,6 +95,8 @@ let run ?(config = default_config) ?vdd ?pool ~sampler ~sta ~placement ~position
   let run_chunk st c =
     let s0 = c * chunk_size in
     let s1 = min config.samples (s0 + chunk_size) in
+    Metrics.incr m_mc_chunks;
+    Metrics.add m_samples (s1 - s0);
     let rng = rng_at_sample ~seed:config.seed ~gaussians:(s0 * n) in
     let crit = Array.make n 0 in
     for k = s0 to s1 - 1 do

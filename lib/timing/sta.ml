@@ -4,6 +4,13 @@ module Kind = Pvtol_stdcell.Kind
 
 let n_stages = List.length Stage.all
 
+(* analyze/workspace counters: the ratio of the two is the workspace
+   reuse factor the allocation-free inner loop exists for. *)
+module Metrics = Pvtol_util.Metrics
+
+let m_workspaces = Metrics.counter "sta_workspace_total"
+let m_analyzes = Metrics.counter "sta_analyze_total"
+
 type t = {
   nl : Netlist.t;
   order : int array;             (* combinational cells, topological *)
@@ -176,6 +183,7 @@ type workspace = {
 }
 
 let workspace t =
+  Metrics.incr m_workspaces;
   {
     arrival_ws = Array.make (Netlist.net_count t.nl) 0.0;
     endpoint_delay_ws = Array.make (Netlist.cell_count t.nl) 0.0;
@@ -188,6 +196,7 @@ let workspace t =
 let zero_skew = fun (_ : Netlist.cell_id) -> 0.0
 
 let analyze_into ?skew t ws ~delays =
+  Metrics.incr m_analyzes;
   let nl = t.nl in
   let skew = match skew with Some f -> f | None -> zero_skew in
   let arrival = ws.arrival_ws in

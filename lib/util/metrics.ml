@@ -1,0 +1,337 @@
+(* Metrics registry over per-domain shards.  See metrics.mli for the
+   contract.
+
+   Hot-path design: each metric owns a [Domain.DLS] key whose
+   initializer creates that domain's shard and pushes it onto the
+   metric's shard list (a lock-free CAS stack).  An update is then a
+   DLS lookup plus a plain mutable store — no lock, no atomic RMW, no
+   allocation.  Reads merge the shards sorted by creating-domain id;
+   integer counts merge by exact addition, so deterministic workloads
+   give bit-identical counters for any domain count. *)
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "PVTOL_METRICS" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let push_shard shards s =
+  let rec go () =
+    let old = Atomic.get shards in
+    if not (Atomic.compare_and_set shards old (s :: old)) then go ()
+  in
+  go ()
+
+let by_domain domain_of shards =
+  List.sort (fun a b -> compare (domain_of a) (domain_of b)) shards
+
+(* --- counters --- *)
+
+type counter_shard = { c_domain : int; mutable c_count : int }
+
+type counter = {
+  c_name : string;
+  c_key : counter_shard Domain.DLS.key;
+  c_shards : counter_shard list Atomic.t;
+}
+
+let make_counter name =
+  let shards = Atomic.make [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s = { c_domain = (Domain.self () :> int); c_count = 0 } in
+        push_shard shards s;
+        s)
+  in
+  { c_name = name; c_key = key; c_shards = shards }
+
+let add c n =
+  if !enabled_flag then begin
+    let s = Domain.DLS.get c.c_key in
+    s.c_count <- s.c_count + n
+  end
+
+let incr c = add c 1
+
+let counter_value c =
+  List.fold_left
+    (fun acc s -> acc + s.c_count)
+    0
+    (by_domain (fun s -> s.c_domain) (Atomic.get c.c_shards))
+
+(* --- gauges --- *)
+
+type gauge = { g_name : string; g_value : float Atomic.t }
+
+let make_gauge name = { g_name = name; g_value = Atomic.make 0.0 }
+let set g v = if !enabled_flag then Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
+
+(* --- histograms --- *)
+
+let default_buckets =
+  [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0 |]
+
+type histo_shard = {
+  h_domain : int;
+  h_counts : int array;  (* per bucket, +inf overflow last *)
+  mutable h_sum : float;
+  mutable h_n : int;
+}
+
+type histogram = {
+  h_name : string;
+  h_buckets : float array;
+  h_key : histo_shard Domain.DLS.key;
+  h_shards : histo_shard list Atomic.t;
+}
+
+let make_histogram ?(buckets = default_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg
+          (Printf.sprintf "Metrics.histogram %s: buckets must increase" name))
+    buckets;
+  let shards = Atomic.make [] in
+  let n_counts = Array.length buckets + 1 in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s =
+          {
+            h_domain = (Domain.self () :> int);
+            h_counts = Array.make n_counts 0;
+            h_sum = 0.0;
+            h_n = 0;
+          }
+        in
+        push_shard shards s;
+        s)
+  in
+  { h_name = name; h_buckets = Array.copy buckets; h_key = key; h_shards = shards }
+
+let observe h v =
+  if !enabled_flag then begin
+    let s = Domain.DLS.get h.h_key in
+    let buckets = h.h_buckets in
+    let n = Array.length buckets in
+    let i = ref 0 in
+    while !i < n && v > buckets.(!i) do
+      Stdlib.incr i
+    done;
+    s.h_counts.(!i) <- s.h_counts.(!i) + 1;
+    s.h_sum <- s.h_sum +. v;
+    s.h_n <- s.h_n + 1
+  end
+
+let histo_shards h = by_domain (fun s -> s.h_domain) (Atomic.get h.h_shards)
+
+let histogram_counts h =
+  let counts = Array.make (Array.length h.h_buckets + 1) 0 in
+  List.iter
+    (fun s ->
+      Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.h_counts)
+    (histo_shards h);
+  counts
+
+let histogram_count h =
+  List.fold_left (fun acc s -> acc + s.h_n) 0 (histo_shards h)
+
+let histogram_sum h =
+  List.fold_left (fun acc s -> acc +. s.h_sum) 0.0 (histo_shards h)
+
+(* --- registry --- *)
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+let registry_mu = Mutex.create ()
+
+let valid_name name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let register name kind make =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: bad metric name %S" name);
+  Mutex.lock registry_mu;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.add registry name m;
+      m
+  in
+  Mutex.unlock registry_mu;
+  match kind m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %S already registered as another kind" name)
+
+let counter name =
+  register name (function C c -> Some c | _ -> None)
+    (fun () -> C (make_counter name))
+
+let gauge name =
+  register name (function G g -> Some g | _ -> None)
+    (fun () -> G (make_gauge name))
+
+let histogram ?buckets name =
+  register name (function H h -> Some h | _ -> None)
+    (fun () -> H (make_histogram ?buckets name))
+
+let reset () =
+  Mutex.lock registry_mu;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c ->
+        List.iter (fun s -> s.c_count <- 0) (Atomic.get c.c_shards)
+      | G g -> Atomic.set g.g_value 0.0
+      | H h ->
+        List.iter
+          (fun s ->
+            Array.fill s.h_counts 0 (Array.length s.h_counts) 0;
+            s.h_sum <- 0.0;
+            s.h_n <- 0)
+          (Atomic.get h.h_shards))
+    registry;
+  Mutex.unlock registry_mu
+
+(* --- snapshot and export --- *)
+
+type histo_value = {
+  buckets : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type value = Counter of int | Gauge of float | Histogram of histo_value
+type snapshot = (string * value) list
+
+let snapshot () =
+  Mutex.lock registry_mu;
+  let entries = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock registry_mu;
+  entries
+  |> List.map (fun (name, m) ->
+         ( name,
+           match m with
+           | C c -> Counter (counter_value c)
+           | G g -> Gauge (gauge_value g)
+           | H h ->
+             Histogram
+               {
+                 buckets = Array.copy h.h_buckets;
+                 counts = histogram_counts h;
+                 sum = histogram_sum h;
+                 count = histogram_count h;
+               } ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let to_json (snap : snapshot) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let section title filter render =
+    let entries = List.filter_map filter snap in
+    add "  \"%s\": {" title;
+    List.iteri
+      (fun i (name, v) ->
+        add "%s\n    \"%s\": %s" (if i > 0 then "," else "") name (render v))
+      entries;
+    if entries <> [] then add "\n  ";
+    add "}"
+  in
+  add "{\n";
+  section "counters"
+    (function n, Counter c -> Some (n, c) | _ -> None)
+    string_of_int;
+  add ",\n";
+  section "gauges"
+    (function n, Gauge g -> Some (n, g) | _ -> None)
+    json_float;
+  add ",\n";
+  section "histograms"
+    (function n, Histogram h -> Some (n, h) | _ -> None)
+    (fun h ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf "{ \"count\": %d, \"sum\": %s, \"buckets\": [" h.count
+           (json_float h.sum));
+      Array.iteri
+        (fun i c ->
+          let le =
+            if i < Array.length h.buckets then
+              Printf.sprintf "%s" (json_float h.buckets.(i))
+            else "\"+Inf\""
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s{ \"le\": %s, \"count\": %d }"
+               (if i > 0 then ", " else "")
+               le c))
+        h.counts;
+      Buffer.add_string b "] }";
+      Buffer.contents b);
+  add "\n}\n";
+  Buffer.contents buf
+
+let to_prometheus (snap : snapshot) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c ->
+        add "# TYPE %s counter\n%s %d\n" name name c
+      | Gauge g -> add "# TYPE %s gauge\n%s %s\n" name name (json_float g)
+      | Histogram h ->
+        add "# TYPE %s histogram\n" name;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              if i < Array.length h.buckets then
+                Printf.sprintf "%g" h.buckets.(i)
+              else "+Inf"
+            in
+            add "%s_bucket{le=\"%s\"} %d\n" name le !cum)
+          h.counts;
+        add "%s_sum %s\n%s_count %d\n" name (json_float h.sum) name h.count)
+    snap;
+  Buffer.contents buf
+
+let summary_line (snap : snapshot) =
+  let parts =
+    List.filter_map
+      (function
+        | name, Counter c when c > 0 -> Some (Printf.sprintf "%s=%d" name c)
+        | _ -> None)
+      snap
+  in
+  "metrics: "
+  ^ (match parts with [] -> "(no nonzero counters)" | _ -> String.concat " " parts)
+
+let write ~file =
+  let snap = snapshot () in
+  let text =
+    if Filename.check_suffix file ".prom" || Filename.check_suffix file ".txt"
+    then to_prometheus snap
+    else to_json snap
+  in
+  let oc = open_out file in
+  output_string oc text;
+  close_out oc

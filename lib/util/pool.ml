@@ -16,18 +16,24 @@ let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let domains t = t.domains
 
+(* Telemetry: job/chunk counts are deterministic for a given workload;
+   the wait/latency histograms are wall-clock and only sampled when
+   metrics are enabled (gettimeofday stays off the disabled path). *)
+let m_jobs = Metrics.counter "pool_jobs_total"
+let m_chunks = Metrics.counter "pool_chunks_total"
+let m_job_s = Metrics.histogram "pool_job_seconds"
+let m_queue_wait_s = Metrics.histogram "pool_queue_wait_seconds"
+
 (* A bad PVTOL_DOMAINS is a user mistake worth one loud warning, not a
-   silent fall-through to the hardware default. *)
-let env_warned = ref false
+   silent fall-through to the hardware default.  The latch is an
+   Atomic (inside Log.once): two domains parsing PVTOL_DOMAINS
+   concurrently still emit exactly one warning. *)
+let env_warned = Log.once ()
 
 let warn_env s reason =
-  if not !env_warned then begin
-    env_warned := true;
-    Printf.eprintf
-      "pvtol: warning: ignoring PVTOL_DOMAINS=%S (%s); using %d domains\n%!"
-      s reason
-      (max 1 (Domain.recommended_domain_count ()))
-  end
+  Log.warn_once env_warned
+    "ignoring PVTOL_DOMAINS=%S (%s); using %d domains" s reason
+    (max 1 (Domain.recommended_domain_count ()))
 
 let env_domain_count () =
   match Sys.getenv_opt "PVTOL_DOMAINS" with
@@ -49,6 +55,7 @@ let default_domain_count () =
   | None -> max 1 (Domain.recommended_domain_count ())
 
 let rec worker_loop t last_gen =
+  let wait_t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
   Mutex.lock t.lock;
   while (not t.stopped) && t.generation = last_gen do
     Condition.wait t.work_ready t.lock
@@ -58,6 +65,8 @@ let rec worker_loop t last_gen =
     let gen = t.generation in
     let job = t.job in
     Mutex.unlock t.lock;
+    if Metrics.enabled () then
+      Metrics.observe m_queue_wait_s (Unix.gettimeofday () -. wait_t0);
     (match job with
     | Some f -> ( try f () with _ -> () (* jobs capture their own errors *))
     | None -> ());
@@ -116,6 +125,8 @@ let shared () =
 (* Run [job] on every participating domain (workers + caller) and wait
    for all of them to leave it. *)
 let run_job t job =
+  Metrics.incr m_jobs;
+  let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
   Mutex.lock t.lock;
   t.job <- Some job;
   t.generation <- t.generation + 1;
@@ -128,11 +139,18 @@ let run_job t job =
     Condition.wait t.work_done t.lock
   done;
   t.job <- None;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  if Metrics.enabled () then
+    Metrics.observe m_job_s (Unix.gettimeofday () -. t0)
 
+(* Chunk counting lives in both execution paths so pool_chunks_total is
+   the same for every domain count (the serial path serves 1-domain
+   pools and nested fan-outs). *)
 let serial_chunks ~chunks ~init ~f =
   let state = init ~worker:0 in
-  Array.init chunks (fun c -> f state c)
+  Array.init chunks (fun c ->
+      Metrics.incr m_chunks;
+      f state c)
 
 let parallel_chunks (type s a) t ~chunks ~(init : worker:int -> s)
     ~(f : s -> int -> a) : a array =
@@ -163,10 +181,12 @@ let parallel_chunks (type s a) t ~chunks ~(init : worker:int -> s)
             while !continue do
               let c = Atomic.fetch_and_add next 1 in
               if c >= chunks then continue := false
-              else
+              else begin
+                Metrics.incr m_chunks;
                 match f state c with
                 | v -> results.(c) <- Some v
                 | exception e -> errors.(c) <- Some e
+              end
             done)
     in
     run_job t body;

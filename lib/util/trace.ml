@@ -7,6 +7,7 @@ type span = {
   minor_words : float;
   major_words : float;
   ok : bool;
+  domain : int;
 }
 
 type t = {
@@ -52,6 +53,7 @@ let span t ~name ?(deps = []) f =
         minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
         major_words = g1.Gc.major_words -. g0.Gc.major_words;
         ok;
+        domain = (Domain.self () :> int);
       }
   in
   match f () with
@@ -67,6 +69,11 @@ let spans t =
   let s = List.rev t.spans in
   Mutex.unlock t.lock;
   s
+
+(* Stable, so spans sharing a start keep completion order — exporters
+   must not re-sort ad hoc. *)
+let sort_by_start t =
+  List.stable_sort (fun a b -> Float.compare a.start_s b.start_s) (spans t)
 
 let find t name = List.find_opt (fun s -> s.name = name) (spans t)
 
@@ -124,11 +131,12 @@ let to_json t =
         (Printf.sprintf
            "    {\"name\": \"%s\", \"deps\": [%s], \"start_s\": %.6f, \
             \"dur_s\": %.6f, \"self_s\": %.6f, \"minor_words\": %.0f, \
-            \"major_words\": %.0f, \"ok\": %b}%s\n"
+            \"major_words\": %.0f, \"ok\": %b, \"domain\": %d}%s\n"
            (json_escape s.name)
            (String.concat ", "
               (List.map (fun d -> "\"" ^ json_escape d ^ "\"") s.deps))
            s.start_s s.dur_s s.self_s s.minor_words s.major_words s.ok
+           s.domain
            (if i < n - 1 then "," else "")))
     spans;
   Buffer.add_string buf "  ]\n}\n";
@@ -137,4 +145,56 @@ let to_json t =
 let write_json t file =
   let oc = open_out file in
   output_string oc (to_json t);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export (chrome://tracing, Perfetto).  One
+   complete ("X") event per span on the track of the domain that
+   computed it, preceded by metadata events naming the process and each
+   domain track.  Timestamps are microseconds since trace creation. *)
+
+let chrome_event buf ~first ~name ~ph ~ts ~tid ~extra =
+  if not first then Buffer.add_string buf ",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  {\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \
+        \"tid\": %d%s}"
+       (json_escape name) ph ts tid extra)
+
+let to_chrome_json t =
+  let spans = sort_by_start t in
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.domain) spans)
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "[\n";
+  chrome_event buf ~first:true ~name:"process_name" ~ph:"M" ~ts:0.0 ~tid:0
+    ~extra:", \"args\": {\"name\": \"pvtol\"}";
+  List.iter
+    (fun tid ->
+      chrome_event buf ~first:false ~name:"thread_name" ~ph:"M" ~ts:0.0 ~tid
+        ~extra:(Printf.sprintf ", \"args\": {\"name\": \"domain %d\"}" tid))
+    tids;
+  List.iter
+    (fun s ->
+      let deps =
+        String.concat ", "
+          (List.map (fun d -> "\"" ^ json_escape d ^ "\"") s.deps)
+      in
+      chrome_event buf ~first:false ~name:s.name ~ph:"X"
+        ~ts:(s.start_s *. 1e6) ~tid:s.domain
+        ~extra:
+          (Printf.sprintf
+             ", \"dur\": %.3f, \"cat\": \"stage\", \"args\": {\"deps\": \
+              [%s], \"self_us\": %.3f, \"minor_words\": %.0f, \
+              \"major_words\": %.0f, \"ok\": %b}"
+             (s.dur_s *. 1e6) deps (s.self_s *. 1e6) s.minor_words
+             s.major_words s.ok))
+    spans;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let write_chrome_json t file =
+  let oc = open_out file in
+  output_string oc (to_chrome_json t);
   close_out oc

@@ -19,6 +19,7 @@ type span = {
   minor_words : float;
   major_words : float;
   ok : bool;            (** false if the traced function raised *)
+  domain : int;         (** id of the domain that computed the span *)
 }
 
 type t
@@ -32,6 +33,10 @@ val span : t -> name:string -> ?deps:string list -> (unit -> 'a) -> 'a
 val spans : t -> span list
 (** Completion order: every span finishes after the spans it forced. *)
 
+val sort_by_start : t -> span list
+(** Spans sorted by [start_s], stably (ties keep completion order) —
+    the canonical order for exporters, so none re-sorts ad hoc. *)
+
 val find : t -> string -> span option
 val count : t -> string -> int
 
@@ -44,3 +49,12 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
 val write_json : t -> string -> unit
+
+val to_chrome_json : t -> string
+(** Chrome trace-event (chrome://tracing / Perfetto) JSON: an array of
+    complete ("X") events in {!sort_by_start} order, one per span, on
+    the track of the domain that computed it ([tid]), plus metadata
+    events naming the process and each domain track.  Timestamps and
+    durations are microseconds since the trace was created. *)
+
+val write_chrome_json : t -> string -> unit

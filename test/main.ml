@@ -2,6 +2,7 @@ let () =
   Alcotest.run "pvtol"
     [
       Test_util.suite;
+      Test_telemetry.suite;
       Test_stage.suite;
       Test_stdcell.suite;
       Test_netlist.suite;

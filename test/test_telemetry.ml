@@ -1,0 +1,300 @@
+(* Telemetry layer: the metrics registry (shard merging, histograms,
+   the disabled fast path), the leveled logger (filtering, sinks, the
+   warn-once latch under a domain race) and the Chrome trace export. *)
+
+module Metrics = Pvtol_util.Metrics
+module Log = Pvtol_util.Log
+module Trace = Pvtol_util.Trace
+module Pool = Pvtol_util.Pool
+module Srng = Pvtol_util.Srng
+
+(* Every test that enables metrics must restore the disabled default,
+   also on failure: later tests assert the zero-cost path. *)
+let with_metrics_enabled f =
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                     *)
+
+let test_counter_basics () =
+  let c = Metrics.counter "test_basics_counter" in
+  let before = Metrics.counter_value c in
+  with_metrics_enabled (fun () ->
+      Metrics.incr c;
+      Metrics.add c 41);
+  Alcotest.(check int) "counter sums" 42 (Metrics.counter_value c - before);
+  (* Disabled updates are dropped, not queued. *)
+  Metrics.incr c;
+  Alcotest.(check int) "disabled update dropped" 42
+    (Metrics.counter_value c - before)
+
+let test_registration () =
+  let c = Metrics.counter "test_reregistered" in
+  let c' = Metrics.counter "test_reregistered" in
+  with_metrics_enabled (fun () ->
+      Metrics.incr c;
+      Metrics.incr c');
+  Alcotest.(check int) "same name, same metric" 2 (Metrics.counter_value c);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument
+       "Metrics: \"test_reregistered\" already registered as another kind")
+    (fun () -> ignore (Metrics.gauge "test_reregistered"));
+  Alcotest.check_raises "bad name rejected"
+    (Invalid_argument "Metrics: bad metric name \"bad name\"") (fun () ->
+      ignore (Metrics.counter "bad name"))
+
+let test_gauge () =
+  let g = Metrics.gauge "test_gauge" in
+  with_metrics_enabled (fun () ->
+      Metrics.set g 1.5;
+      Metrics.set g 2.5);
+  Alcotest.(check (float 0.0)) "last write wins" 2.5 (Metrics.gauge_value g)
+
+let test_histogram_exact_counts () =
+  let h = Metrics.histogram "test_histo_exact" ~buckets:[| 1.0; 2.0; 5.0 |] in
+  with_metrics_enabled (fun () ->
+      List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 10.0 ]);
+  (* le semantics: a value equal to a bound lands in that bucket. *)
+  Alcotest.(check (array int))
+    "bucket counts" [| 2; 2; 0; 1 |] (Metrics.histogram_counts h);
+  Alcotest.(check int) "total count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 15.0 (Metrics.histogram_sum h)
+
+(* The shared test pool: worker domains (and their DLS shards) persist
+   across the QCheck iterations, which is exactly the production
+   shape. *)
+let test_pool = lazy (Pool.create ~domains:4 ())
+
+let prop_shard_merge_serial_reference =
+  QCheck.Test.make
+    ~name:"sharded counter merge equals the serial sum" ~count:25
+    QCheck.(pair (int_bound 100_000) (int_range 1 50))
+    (fun (seed, chunks) ->
+      let c = Metrics.counter "test_merge_counter" in
+      let rng = Srng.create seed in
+      let adds = Array.init chunks (fun _ -> Srng.int rng 100) in
+      let before = Metrics.counter_value c in
+      with_metrics_enabled (fun () ->
+          ignore
+            (Pool.parallel_chunks (Lazy.force test_pool) ~chunks
+               ~init:(fun ~worker:_ -> ())
+               ~f:(fun () i -> Metrics.add c adds.(i))));
+      Metrics.counter_value c - before = Array.fold_left ( + ) 0 adds)
+
+let test_deterministic_across_domain_counts () =
+  let c = Metrics.counter "test_domain_invariant" in
+  let h = Metrics.histogram "test_domain_invariant_h" ~buckets:[| 10.0 |] in
+  let run domains =
+    let pool = Pool.create ~domains () in
+    let before = Metrics.counter_value c in
+    let hcount = Metrics.histogram_count h in
+    with_metrics_enabled (fun () ->
+        ignore
+          (Pool.parallel_chunks pool ~chunks:64
+             ~init:(fun ~worker:_ -> ())
+             ~f:(fun () i ->
+               Metrics.add c i;
+               Metrics.observe h (float_of_int (i mod 16)))));
+    Pool.shutdown pool;
+    (Metrics.counter_value c - before, Metrics.histogram_count h - hcount)
+  in
+  let r1 = run 1 in
+  Alcotest.(check (pair int int)) "2 domains = 1 domain" r1 (run 2);
+  Alcotest.(check (pair int int)) "4 domains = 1 domain" r1 (run 4)
+
+let test_disabled_path_allocates_nothing () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test_noalloc_counter" in
+  let h = Metrics.histogram "test_noalloc_histo" in
+  let n = 100_000 in
+  let minor_delta f =
+    let a = (Gc.quick_stat ()).Gc.minor_words in
+    f ();
+    (Gc.quick_stat ()).Gc.minor_words -. a
+  in
+  (* The empty loop is the baseline: both deltas carry the same
+     quick_stat bookkeeping, so equal deltas mean the updates
+     themselves allocated zero words. *)
+  let base =
+    minor_delta (fun () ->
+        for _ = 1 to n do
+          ignore (Sys.opaque_identity ())
+        done)
+  in
+  let updates =
+    minor_delta (fun () ->
+        for i = 1 to n do
+          Metrics.incr c;
+          Metrics.add c 2;
+          Metrics.observe h (float_of_int i)
+        done)
+  in
+  Alcotest.(check (float 0.0)) "disabled updates allocate zero words" base
+    updates
+
+let test_exports () =
+  let c = Metrics.counter "test_export_counter" in
+  let h = Metrics.histogram "test_export_histo" ~buckets:[| 1.0; 2.0 |] in
+  with_metrics_enabled (fun () ->
+      Metrics.incr c;
+      Metrics.observe h 0.5;
+      Metrics.observe h 1.5;
+      Metrics.observe h 9.0);
+  let snap = Metrics.snapshot () in
+  let json = Metrics.to_json snap in
+  let has needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json has counter" true
+    (has "\"test_export_counter\"" json);
+  Alcotest.(check bool) "json has +Inf bucket" true (has "\"+Inf\"" json);
+  let prom = Metrics.to_prometheus snap in
+  Alcotest.(check bool) "prom has TYPE line" true
+    (has "# TYPE test_export_counter counter" prom);
+  (* Cumulative le buckets: 1 at le=1, 2 at le=2, 3 at +Inf. *)
+  Alcotest.(check bool) "prom buckets cumulative" true
+    (has "test_export_histo_bucket{le=\"+Inf\"} 3" prom);
+  Alcotest.(check bool) "summary has nonzero counter" true
+    (has "test_export_counter=1" (Metrics.summary_line snap))
+
+(* ------------------------------------------------------------------ *)
+(* Logger                                                               *)
+
+(* Capture through a custom sink; always restore the default. *)
+let with_captured_log f =
+  let captured = ref [] in
+  Log.set_sink (fun level msg -> captured := (level, msg) :: !captured);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink Log.default_sink;
+      Log.set_level Log.Warn)
+    (fun () -> f ());
+  List.rev !captured
+
+let test_log_levels () =
+  let captured =
+    with_captured_log (fun () ->
+        Log.set_level Log.Warn;
+        Log.err "e %d" 1;
+        Log.warn "w";
+        Log.info "i";
+        Log.debug "d";
+        Log.set_level Log.Debug;
+        Log.debug "d2")
+  in
+  Alcotest.(check (list string))
+    "threshold filters" [ "e 1"; "w"; "d2" ]
+    (List.map snd captured);
+  Alcotest.(check bool) "levels recorded" true
+    (List.map fst captured = [ Log.Error; Log.Warn; Log.Debug ])
+
+let test_log_level_of_string () =
+  Alcotest.(check bool) "parses names" true
+    (Log.level_of_string "WARN" = Some Log.Warn
+    && Log.level_of_string "debug" = Some Log.Debug
+    && Log.level_of_string "nonsense" = None)
+
+let test_warn_once_race () =
+  let captured =
+    with_captured_log (fun () ->
+        Log.set_level Log.Warn;
+        let once = Log.once () in
+        let domains =
+          Array.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  for i = 1 to 100 do
+                    Log.warn_once once "latch %d.%d" d i
+                  done))
+        in
+        Array.iter Domain.join domains)
+  in
+  Alcotest.(check int) "exactly one warning across domains" 1
+    (List.length captured)
+
+(* ------------------------------------------------------------------ *)
+(* Trace export                                                         *)
+
+let make_trace () =
+  let tr = Trace.create () in
+  Trace.span tr ~name:"outer" (fun () ->
+      Trace.span tr ~name:"inner" ~deps:[ "outer" ] (fun () -> ()));
+  Trace.span tr ~name:"late" (fun () -> ());
+  tr
+
+let test_sort_by_start () =
+  let tr = make_trace () in
+  let sorted = Trace.sort_by_start tr in
+  Alcotest.(check (list string))
+    "chronological order"
+    [ "outer"; "inner"; "late" ]
+    (List.map (fun s -> s.Trace.name) sorted);
+  let starts = List.map (fun s -> s.Trace.start_s) sorted in
+  Alcotest.(check bool) "starts non-decreasing" true
+    (List.sort compare starts = starts)
+
+let count_occurrences needle hay =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length hay then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_trace_json_domain () =
+  let tr = make_trace () in
+  let json = Trace.to_json tr in
+  Alcotest.(check int) "every span has a domain field" 3
+    (count_occurrences "\"domain\":" json);
+  List.iter
+    (fun s -> Alcotest.(check int) "single-domain trace" 0 s.Trace.domain)
+    (Trace.spans tr)
+
+let test_chrome_export () =
+  let tr = make_trace () in
+  let json = Trace.to_chrome_json tr in
+  (* A JSON array of one X event per span plus metadata events. *)
+  Alcotest.(check bool) "array payload" true
+    (String.length json > 2 && json.[0] = '[');
+  Alcotest.(check int) "one complete event per span" 3
+    (count_occurrences "\"ph\": \"X\"" json);
+  Alcotest.(check int) "process + domain metadata" 2
+    (count_occurrences "\"ph\": \"M\"" json);
+  Alcotest.(check int) "all events carry a pid" 5
+    (count_occurrences "\"pid\": 1" json);
+  (* Chrome ts/dur are microseconds: the inner span's dur must not
+     exceed the outer's (it nests inside). *)
+  let outer = Option.get (Trace.find tr "outer") in
+  let inner = Option.get (Trace.find tr "inner") in
+  Alcotest.(check bool) "nesting preserved" true
+    (inner.Trace.dur_s <= outer.Trace.dur_s
+    && inner.Trace.start_s >= outer.Trace.start_s)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "counter basics" `Quick test_counter_basics;
+      Alcotest.test_case "registration rules" `Quick test_registration;
+      Alcotest.test_case "gauge" `Quick test_gauge;
+      Alcotest.test_case "histogram exact counts" `Quick
+        test_histogram_exact_counts;
+      qcheck prop_shard_merge_serial_reference;
+      Alcotest.test_case "counts invariant in domain count" `Quick
+        test_deterministic_across_domain_counts;
+      Alcotest.test_case "disabled path allocates nothing" `Quick
+        test_disabled_path_allocates_nothing;
+      Alcotest.test_case "json/prometheus/summary exports" `Quick test_exports;
+      Alcotest.test_case "log level filtering" `Quick test_log_levels;
+      Alcotest.test_case "log level parsing" `Quick test_log_level_of_string;
+      Alcotest.test_case "warn_once fires once under a race" `Quick
+        test_warn_once_race;
+      Alcotest.test_case "trace sort_by_start" `Quick test_sort_by_start;
+      Alcotest.test_case "trace json carries domains" `Quick
+        test_trace_json_domain;
+      Alcotest.test_case "chrome trace export" `Quick test_chrome_export;
+    ] )
