@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick trace-quick telemetry-quick \
-	fmt-check clean
+.PHONY: all build test bench bench-quick bench-mc trace-quick \
+	telemetry-quick fmt-check clean
 
 all: build
 
@@ -20,6 +20,11 @@ bench:
 # fresh BENCH_ssta.json in the working directory.
 bench-quick:
 	dune exec bench/main.exe -- --quick kernels --json
+
+# Golden-vs-batched Monte-Carlo engine comparison only: the per-sample
+# MC kernels and their speedup ratio (scaled-down design).
+bench-mc:
+	dune exec bench/main.exe -- --quick kernels-mc
 
 # Quick stage-graph trace: runs the scaled-down flow and prints the
 # span report (stage, wall clock, allocation, dependencies) to stderr,

@@ -12,6 +12,8 @@
                                         throughput report
      bench/main.exe kernels --json  -- also write BENCH_ssta.json (perf
                                         trajectory for future changes)
+     bench/main.exe kernels-mc      -- only the golden-vs-batched MC
+                                        kernels and their speedup ratio
      bench/main.exe --quick ...     -- scaled-down design (fast smoke run)
 
    One Bechamel Test.make per table/figure kernel: the measured loop is
@@ -167,26 +169,51 @@ let telemetry_throughput ~quick () =
   let pool = Pool.shared () in
   let time_run () =
     let t0 = Unix.gettimeofday () in
-    ignore
-      (MC.run
-         ~config:{ MC.samples; seed }
-         ~pool ~sampler:(Flow.sampler t) ~sta:(Flow.sta t)
-         ~placement:(Flow.placement t) ~position:Position.point_b ());
-    float_of_int samples /. (Unix.gettimeofday () -. t0)
-  in
-  (* Best of three timings per mode: a single MC run is short enough
-     that scheduler noise would otherwise dominate the comparison. *)
-  let best () =
-    Float.max (time_run ()) (Float.max (time_run ()) (time_run ()))
+    let r =
+      MC.run
+        ~config:{ MC.samples; seed }
+        ~pool ~sampler:(Flow.sampler t) ~sta:(Flow.sta t)
+        ~placement:(Flow.placement t) ~position:Position.point_b ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (* Both modes must do the same amount of work for the comparison to
+       mean anything. *)
+    if Array.length r.MC.worst_samples <> samples then
+      failwith "telemetry: sample count drifted between modes";
+    float_of_int samples /. dt
   in
   let was = Metrics.enabled () in
+  (* Warm BOTH code paths before any timed run (a cold first mode would
+     be charged its page faults and lazy inits — historically this made
+     "enabled" look faster than "disabled").  Then interleave the
+     rounds so slow drift (turbo, thermal) hits both modes equally, and
+     keep the best of three per mode. *)
   Metrics.set_enabled false;
-  ignore (time_run ());  (* warm both code paths before timing *)
-  let tel_disabled_sps = best () in
+  ignore (time_run ());
   Metrics.set_enabled true;
-  let tel_enabled_sps = best () in
+  ignore (time_run ());
+  let tel_disabled_sps = ref 0.0 and tel_enabled_sps = ref 0.0 in
+  let measure enabled acc =
+    Metrics.set_enabled enabled;
+    acc := Float.max !acc (time_run ())
+  in
+  for round = 1 to 6 do
+    (* Alternate which mode goes first — an even round count, so each
+       mode leads exactly half the rounds and within-round drift
+       cancels. *)
+    if round land 1 = 1 then (
+      measure false tel_disabled_sps;
+      measure true tel_enabled_sps)
+    else (
+      measure true tel_enabled_sps;
+      measure false tel_disabled_sps)
+  done;
   Metrics.set_enabled was;
-  { tel_samples = samples; tel_disabled_sps; tel_enabled_sps }
+  {
+    tel_samples = samples;
+    tel_disabled_sps = !tel_disabled_sps;
+    tel_enabled_sps = !tel_enabled_sps;
+  }
 
 let print_telemetry_report r =
   Printf.printf
@@ -200,7 +227,17 @@ let print_telemetry_report r =
 (* ------------------------------------------------------------------ *)
 (* Bechamel kernels                                                     *)
 
-let kernel_estimates ~quick () =
+(* MC-related kernels carry [per_run > 1]: one staged run covers a full
+   lane block, and the reported estimate is divided by [per_run] so
+   every fig3/table1 line stays ns per SAMPLE and the engines compare
+   directly. *)
+let mc_kernel_names =
+  [
+    "fig3/mc-sample"; "fig3/mc-sample-batched";
+    "table1/sta-pass-into"; "table1/sta-batch-into";
+  ]
+
+let kernel_estimates ~quick ?(only = fun _ -> true) () =
   let open Bechamel in
   let open Toolkit in
   let t = context ~quick () in
@@ -219,69 +256,86 @@ let kernel_estimates ~quick () =
       .Pvtol_stdcell.Process.vdd_low
   in
   let field = Field.default in
+  (* Batched-engine scratch: one block of [lanes] samples per run. *)
+  let lanes = 32 in
+  let bw = Sta.batch_workspace ~lanes sta in
+  let stride = Sta.batch_stride bw in
+  let gauss = Array.make (lanes * n) 0.0 in
+  let brng = Srng.create 99 in
+  let batch = Sampler.batch sampler ~base ~systematic ~vdd:(fun _ -> low) in
   let tests =
     [
-      Test.make ~name:"fig2/field-eval-4096"
-        (Staged.stage (fun () ->
-             let acc = ref 0.0 in
-             for i = 0 to 63 do
-               for j = 0 to 63 do
-                 acc :=
-                   !acc
-                   +. Field.systematic_nm field
-                        ~x_mm:(float_of_int i /. 4.0)
-                        ~y_mm:(float_of_int j /. 4.0)
-               done
-             done;
-             ignore !acc));
-      Test.make ~name:"table1/sta-pass"
-        (Staged.stage (fun () -> ignore (Sta.analyze sta ~delays:base)));
-      Test.make ~name:"table1/sta-pass-into"
-        (Staged.stage (fun () -> Sta.analyze_into sta ws ~delays:base));
-      Test.make ~name:"fig3/mc-sample"
-        (Staged.stage (fun () ->
-             Sampler.sample_lgates sampler ~systematic rng lgates;
-             Sampler.scale_delays sampler ~base ~lgates ~vdd:(fun _ -> low)
-               ~out:delays;
-             Sta.analyze_into sta ws ~delays));
-      Test.make ~name:"fig4/corner-check"
-        (Staged.stage (fun () ->
-             for i = 0 to n - 1 do
-               delays.(i) <-
-                 base.(i)
-                 *. Slicing.corner_scale ~sampler ~systematic ~corner_kappa:0.35
-                      ~vdd:(fun _ -> low)
-                      i
-             done;
-             ignore (Sta.analyze sta ~delays)));
-      Test.make ~name:"table2/crossing-analysis"
-        (Staged.stage (fun () ->
-             ignore
-               (Level_shifter.count_crossings
-                  (Flow.variant t Island.Vertical).Flow.slicing.Slicing.partition
-                  placement (Flow.netlist t))));
-      Test.make ~name:"fig5-6/power-pass"
-        (Staged.stage (fun () ->
-             ignore
-               (Power.analyze
-                  ~vdd:(fun _ -> low)
-                  ~activity:(Flow.activity t)
-                  ~wire_length:(fun nid ->
-                    Pvtol_place.Placement.wire_length placement nid)
-                  ~clock_ns:(Flow.clock t) (Flow.netlist t))));
-      Test.make ~name:"gatesim/cycle"
-        (Staged.stage (fun () ->
-             ignore
-               (Gatesim.run ~cycles:1 (Flow.netlist t)
-                  (Gatesim.random_stimulus ~seed:5))));
+      ( "fig2/field-eval-4096", 1,
+        fun () ->
+          let acc = ref 0.0 in
+          for i = 0 to 63 do
+            for j = 0 to 63 do
+              acc :=
+                !acc
+                +. Field.systematic_nm field
+                     ~x_mm:(float_of_int i /. 4.0)
+                     ~y_mm:(float_of_int j /. 4.0)
+            done
+          done;
+          ignore !acc );
+      ( "table1/sta-pass", 1,
+        fun () -> ignore (Sta.analyze sta ~delays:base) );
+      ( "table1/sta-pass-into", 1,
+        fun () -> Sta.analyze_into sta ws ~delays:base );
+      ( "table1/sta-batch-into", lanes,
+        fun () -> Sta.analyze_batch_into sta bw ~lanes );
+      ( "fig3/mc-sample", 1,
+        fun () ->
+          Sampler.sample_lgates sampler ~systematic rng lgates;
+          Sampler.scale_delays sampler ~base ~lgates ~vdd:(fun _ -> low)
+            ~out:delays;
+          Sta.analyze_into sta ws ~delays );
+      ( "fig3/mc-sample-batched", lanes,
+        fun () ->
+          Srng.fill_gaussians brng gauss ~pos:0 ~len:(lanes * n);
+          Sampler.scale_delays_batch batch ~gauss ~samples:lanes ~stride
+            ~out:(Sta.batch_delays bw);
+          Sta.analyze_batch_into sta bw ~lanes );
+      ( "fig4/corner-check", 1,
+        fun () ->
+          for i = 0 to n - 1 do
+            delays.(i) <-
+              base.(i)
+              *. Slicing.corner_scale ~sampler ~systematic ~corner_kappa:0.35
+                   ~vdd:(fun _ -> low)
+                   i
+          done;
+          ignore (Sta.analyze sta ~delays) );
+      ( "table2/crossing-analysis", 1,
+        fun () ->
+          ignore
+            (Level_shifter.count_crossings
+               (Flow.variant t Island.Vertical).Flow.slicing.Slicing.partition
+               placement (Flow.netlist t)) );
+      ( "fig5-6/power-pass", 1,
+        fun () ->
+          ignore
+            (Power.analyze
+               ~vdd:(fun _ -> low)
+               ~activity:(Flow.activity t)
+               ~wire_length:(fun nid ->
+                 Pvtol_place.Placement.wire_length placement nid)
+               ~clock_ns:(Flow.clock t) (Flow.netlist t)) );
+      ( "gatesim/cycle", 1,
+        fun () ->
+          ignore
+            (Gatesim.run ~cycles:1 (Flow.netlist t)
+               (Gatesim.random_stimulus ~seed:5)) );
     ]
   in
+  let tests = List.filter (fun (name, _, _) -> only name) tests in
+  let per_run = List.map (fun (name, d, _) -> (name, d)) tests in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
   let instances = [ Instance.monotonic_clock ] in
   let rows =
     List.concat_map
-      (fun test ->
-        let raw = Benchmark.all cfg instances test in
+      (fun (name, _, fn) ->
+        let raw = Benchmark.all cfg instances (Test.make ~name (Staged.stage fn)) in
         let results =
           Analyze.all
             (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
@@ -289,8 +343,11 @@ let kernel_estimates ~quick () =
         in
         Hashtbl.fold
           (fun name result acc ->
+            let divisor =
+              float_of_int (Option.value ~default:1 (List.assoc_opt name per_run))
+            in
             match Bechamel.Analyze.OLS.estimates result with
-            | Some (est :: _) -> (name, Some est) :: acc
+            | Some (est :: _) -> (name, Some (est /. divisor)) :: acc
             | _ -> (name, None) :: acc)
           results [])
       tests
@@ -298,6 +355,17 @@ let kernel_estimates ~quick () =
   (* Hashtbl.fold order is unspecified: sort by kernel name so the
      report is stable run to run. *)
   List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+(* Golden-vs-batched engine ratio from the per-sample kernel lines;
+   [None] until both kernels have estimates. *)
+let mc_engine_speedup rows =
+  match
+    (List.assoc_opt "fig3/mc-sample" rows,
+     List.assoc_opt "fig3/mc-sample-batched" rows)
+  with
+  | Some (Some golden), Some (Some batched) when batched > 0.0 ->
+    Some (golden /. batched)
+  | _ -> None
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -347,21 +415,36 @@ let write_json ~file rows mc wf tel =
     \    \"disabled_samples_per_sec\": %.1f,\n\
     \    \"enabled_samples_per_sec\": %.1f,\n\
     \    \"overhead_pct\": %.3f\n\
-    \  }\n}\n"
+    \  },\n"
     tel.tel_samples tel.tel_disabled_sps tel.tel_enabled_sps
     (telemetry_overhead_pct tel);
+  Printf.fprintf oc "  \"mc_engine_speedup\": %s\n}\n"
+    (match mc_engine_speedup rows with
+    | Some s -> Printf.sprintf "%.3f" s
+    | None -> "null");
   close_out oc;
   Printf.printf "[wrote %s]\n%!" file
 
-let kernels ~quick ~json () =
-  let rows = kernel_estimates ~quick () in
-  Printf.printf "\nKernel micro-benchmarks (Bechamel):\n%!";
+let print_kernel_rows rows =
+  Printf.printf "\nKernel micro-benchmarks (Bechamel, ns per sample):\n%!";
   List.iter
     (fun (name, est) ->
       match est with
       | Some est -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
       | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
-    rows;
+    rows
+
+let print_engine_speedup rows =
+  match mc_engine_speedup rows with
+  | Some s ->
+    Printf.printf
+      "\nMC engine speedup (golden / batched, per sample): %.2fx\n%!" s
+  | None -> ()
+
+let kernels ~quick ~json () =
+  let rows = kernel_estimates ~quick () in
+  print_kernel_rows rows;
+  print_engine_speedup rows;
   let mc = mc_throughput ~quick () in
   print_mc_report mc;
   let wf = wafer_throughput ~quick () in
@@ -369,6 +452,15 @@ let kernels ~quick ~json () =
   let tel = telemetry_throughput ~quick () in
   print_telemetry_report tel;
   if json then write_json ~file:"BENCH_ssta.json" rows mc wf tel
+
+(* Just the golden-vs-batched comparison: the four per-sample MC
+   kernels and their ratio ([make bench-mc]). *)
+let kernels_mc ~quick () =
+  let rows =
+    kernel_estimates ~quick ~only:(fun n -> List.mem n mc_kernel_names) ()
+  in
+  print_kernel_rows rows;
+  print_engine_speedup rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -407,6 +499,7 @@ let () =
     print_string (Experiments.all c);
     kernels ~quick ~json ()
   | [ "kernels" ] -> kernels ~quick ~json ()
+  | [ "kernels-mc" ] -> kernels_mc ~quick ()
   | names ->
     List.iter
       (fun name ->
@@ -417,7 +510,7 @@ let () =
           print_newline ()
         | None ->
           Printf.eprintf
-            "unknown exhibit %S (try: %s, kernels)\n" name
+            "unknown exhibit %S (try: %s, kernels, kernels-mc)\n" name
             (String.concat ", " (List.map fst exhibits));
           exit 1)
       names

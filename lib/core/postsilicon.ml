@@ -6,6 +6,7 @@ module Power = Pvtol_power.Power
 module Placement = Pvtol_place.Placement
 module Srng = Pvtol_util.Srng
 module Metrics = Pvtol_util.Metrics
+module Monte_carlo = Pvtol_ssta.Monte_carlo
 
 let m_dies = Metrics.counter "postsilicon_dies_total"
 let m_raised = Metrics.counter "postsilicon_islands_raised_total"
@@ -46,6 +47,7 @@ type kernel = {
   n_islands : int;
   base : float array;
   n_cells : int;
+  engine : Monte_carlo.engine;
   (* Power per compensation level, computed once (chip leakage varies
      with position but the dominant switching term does not). *)
   power_of_raised : float array;
@@ -55,6 +57,7 @@ type kernel = {
 
 type scratch = {
   ws : Sta.workspace;
+  inc : Sta.inc_workspace;  (* [ws] is its inner workspace *)
   lgates : float array;
   delays : float array;
 }
@@ -69,7 +72,8 @@ type die = {
   die_worst_low_ns : float;
 }
 
-let kernel (t : Flow.t) (v : Flow.variant) =
+let kernel ?(engine = Monte_carlo.engine_of_env ()) (t : Flow.t)
+    (v : Flow.variant) =
   let nl = Flow.netlist t in
   let lib = nl.Netlist.lib in
   let low = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
@@ -105,14 +109,17 @@ let kernel (t : Flow.t) (v : Flow.variant) =
     n_islands;
     base = Sta.nominal_delays sta;
     n_cells = Netlist.cell_count nl;
+    engine;
     power_of_raised;
     power_chip_wide;
     power_baseline;
   }
 
 let scratch k =
+  let inc = Sta.inc_workspace k.sta in
   {
-    ws = Sta.workspace k.sta;
+    ws = Sta.inc_ws inc;
+    inc;
     lgates = Array.make k.n_cells 0.0;
     delays = Array.make k.n_cells 0.0;
   }
@@ -137,7 +144,15 @@ let simulate_die k sc ~systematic rng =
   let analyze_with vdd =
     Sampler.scale_delays k.sampler ~base:k.base ~lgates:sc.lgates ~vdd
       ~out:sc.delays;
-    Sta.analyze_into k.sta sc.ws ~delays:sc.delays
+    (* The incremental pass is bit-identical to the full one (default
+       bound 0.), so both engines produce the same die verdicts; the
+       supply reconfigurations of the settle loop are where the cached
+       arrivals pay off (identical re-analyses skip the forward pass
+       entirely, large island cones fall back to one full pass). *)
+    match k.engine with
+    | Monte_carlo.Golden -> Sta.analyze_into k.sta sc.ws ~delays:sc.delays
+    | Monte_carlo.Batched ->
+      Sta.analyze_incremental_into k.sta sc.inc ~delays:sc.delays
   in
   let violating_stages () =
     List.length

@@ -18,6 +18,22 @@ type config = {
 val default_config : config
 (** 400 samples, seed 2024. *)
 
+type engine =
+  | Golden
+      (** The scalar reference engine: one full STA pass per sample.
+          Bit-for-bit the historical results. *)
+  | Batched
+      (** Structure-of-arrays fast path: 32 samples propagated per
+          graph walk with a polynomial delay-scale.  Identical gaussian
+          draws; worst-slack values agree with [Golden] to ~1e-12
+          relative (the documented {!Pvtol_variation.Sampler} fit
+          bound). *)
+
+val engine_of_env : unit -> engine
+(** Engine selected by the [PVTOL_MC_ENGINE] environment variable:
+    [golden] or [batched] (the default, also used — with a one-shot
+    warning — for unrecognised values). *)
+
 type stage_stats = {
   stage : Stage.t;
   samples : float array;        (** per-sample worst path delay, ns *)
@@ -37,6 +53,7 @@ type result = {
 
 val run :
   ?config:config ->
+  ?engine:engine ->
   ?vdd:(Netlist.cell_id -> float) ->
   ?pool:Pvtol_util.Pool.t ->
   sampler:Pvtol_variation.Sampler.t ->
@@ -45,7 +62,8 @@ val run :
   position:Pvtol_variation.Position.t ->
   unit ->
   result
-(** [vdd] defaults to the library's low supply for every cell.
+(** [vdd] defaults to the library's low supply for every cell;
+    [engine] defaults to {!engine_of_env}.
 
     The sample range is cut into fixed 32-sample chunks executed on
     [pool] (default {!Pvtol_util.Pool.shared}, sized by the
@@ -54,9 +72,12 @@ val run :
     RNG state the legacy serial loop would hold at the chunk's first
     sample, and every chunk writes a disjoint slice of the sample
     arrays, so the output is {e bit-identical} for every domain count
-    (and to the pre-parallel serial engine).  Per-worker STA workspaces
-    ({!Pvtol_timing.Sta.analyze_into}) keep the inner loop free of
-    per-sample arrival/endpoint allocations. *)
+    (and, under [Golden], to the pre-parallel serial engine).  The
+    [Batched] engine consumes the same gaussian stream chunk by chunk
+    and is likewise domain-count invariant; versus [Golden] its
+    worst-slack samples differ only within the documented delay-scale
+    fit bound.  Per-worker workspaces keep both inner loops free of
+    per-sample heap allocation. *)
 
 val stage_stats : result -> Stage.t -> stage_stats option
 

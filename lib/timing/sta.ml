@@ -10,6 +10,8 @@ module Metrics = Pvtol_util.Metrics
 
 let m_workspaces = Metrics.counter "sta_workspace_total"
 let m_analyzes = Metrics.counter "sta_analyze_total"
+let m_inc_gates = Metrics.counter "sta_incremental_gates_total"
+let m_fallbacks = Metrics.counter "sta_full_fallbacks_total"
 
 type t = {
   nl : Netlist.t;
@@ -22,6 +24,9 @@ type t = {
   capture_of : Stage.t option array;  (* per cell *)
   flops : int array;
   stage_endpoints : int array array;  (* per Stage.index: capturing flops, id order *)
+  flop_slot : int array;         (* per cell: index into [flops], -1 if comb *)
+  level : int array;             (* per cell: comb logic depth, -1 if sequential *)
+  level_off : int array;         (* CSR offsets of comb cells per level, n_levels+1 *)
 }
 
 let netlist t = t.nl
@@ -137,9 +142,38 @@ let build nl ~wire_length ~capture =
                | None -> false)
         |> Array.of_list)
   in
+  let flop_slot = Array.make n_cells (-1) in
+  Array.iteri (fun slot cid -> flop_slot.(cid) <- slot) flops;
+  let order = topo_order nl in
+  (* Levelization for the incremental worklist: a comb cell's level is
+     one past its deepest combinational fanin (flop and primary-input
+     fanins sit at depth 0), so an arrival change at level L can only
+     disturb cells at levels > L and each level's bucket is drained at
+     most once per incremental pass. *)
+  let level = Array.make n_cells (-1) in
+  Array.iter
+    (fun cid ->
+      let lv = ref 0 in
+      Array.iter
+        (fun nid ->
+          match nl.Netlist.nets.(nid).Netlist.driver with
+          | Some d when not (is_seq nl.Netlist.cells.(d)) ->
+            if level.(d) + 1 > !lv then lv := level.(d) + 1
+          | Some _ | None -> ())
+        nl.Netlist.cells.(cid).Netlist.fanins;
+      level.(cid) <- !lv)
+    order;
+  let n_levels =
+    Array.fold_left (fun acc cid -> max acc (level.(cid) + 1)) 0 order
+  in
+  let level_off = Array.make (n_levels + 1) 0 in
+  Array.iter (fun cid -> level_off.(level.(cid) + 1) <- level_off.(level.(cid) + 1) + 1) order;
+  for i = 1 to n_levels do
+    level_off.(i) <- level_off.(i) + level_off.(i - 1)
+  done;
   {
     nl;
-    order = topo_order nl;
+    order;
     base_delay;
     pin_off;
     pin_wire;
@@ -148,6 +182,9 @@ let build nl ~wire_length ~capture =
     capture_of;
     flops;
     stage_endpoints;
+    flop_slot;
+    level;
+    level_off;
   }
 
 let of_placement p ~capture =
@@ -195,31 +232,13 @@ let workspace t =
 
 let zero_skew = fun (_ : Netlist.cell_id) -> 0.0
 
-let analyze_into ?skew t ws ~delays =
-  Metrics.incr m_analyzes;
+(* Endpoint reduction over the current arrivals — shared verbatim by
+   the full and the incremental forward passes, so the two agree bit
+   for bit by construction. *)
+let endpoint_pass ~skew t ws =
   let nl = t.nl in
-  let skew = match skew with Some f -> f | None -> zero_skew in
   let arrival = ws.arrival_ws in
-  Array.fill arrival 0 (Array.length arrival) 0.0;
-  (* Launch points: flop outputs, offset by the launch edge's arrival. *)
-  Array.iter
-    (fun cid ->
-      arrival.(nl.Netlist.cells.(cid).Netlist.fanout) <- delays.(cid) +. skew cid)
-    t.flops;
-  (* Primary inputs arrive at t = 0 (already initialised). *)
   let pin_wire = t.pin_wire and pin_off = t.pin_off in
-  Array.iter
-    (fun cid ->
-      let c = nl.Netlist.cells.(cid) in
-      let fanins = c.Netlist.fanins in
-      let off = pin_off.(cid) in
-      let acc = ref 0.0 in
-      for pin = 0 to Array.length fanins - 1 do
-        let a = arrival.(fanins.(pin)) +. pin_wire.(off + pin) in
-        if a > !acc then acc := a
-      done;
-      arrival.(c.Netlist.fanout) <- !acc +. delays.(cid))
-    t.order;
   let endpoint_delay = ws.endpoint_delay_ws in
   Array.fill endpoint_delay 0 (Array.length endpoint_delay) 0.0;
   Array.fill ws.stage_delay_ws 0 n_stages neg_infinity;
@@ -248,6 +267,33 @@ let analyze_into ?skew t ws ~delays =
     t.flops;
   if ws.worst_endpoint_ws = -1 then ws.worst_ws <- 0.0
 
+let analyze_into ?skew t ws ~delays =
+  Metrics.incr m_analyzes;
+  let nl = t.nl in
+  let skew = match skew with Some f -> f | None -> zero_skew in
+  let arrival = ws.arrival_ws in
+  Array.fill arrival 0 (Array.length arrival) 0.0;
+  (* Launch points: flop outputs, offset by the launch edge's arrival. *)
+  Array.iter
+    (fun cid ->
+      arrival.(nl.Netlist.cells.(cid).Netlist.fanout) <- delays.(cid) +. skew cid)
+    t.flops;
+  (* Primary inputs arrive at t = 0 (already initialised). *)
+  let pin_wire = t.pin_wire and pin_off = t.pin_off in
+  Array.iter
+    (fun cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let fanins = c.Netlist.fanins in
+      let off = pin_off.(cid) in
+      let acc = ref 0.0 in
+      for pin = 0 to Array.length fanins - 1 do
+        let a = arrival.(fanins.(pin)) +. pin_wire.(off + pin) in
+        if a > !acc then acc := a
+      done;
+      arrival.(c.Netlist.fanout) <- !acc +. delays.(cid))
+    t.order;
+  endpoint_pass ~skew t ws
+
 let ws_worst ws = ws.worst_ws
 let ws_worst_endpoint ws = ws.worst_endpoint_ws
 let ws_endpoint_delay ws cid = ws.endpoint_delay_ws.(cid)
@@ -255,6 +301,301 @@ let ws_endpoint_delay ws cid = ws.endpoint_delay_ws.(cid)
 let ws_stage_delay ws stage =
   let si = Stage.index stage in
   if ws.stage_endpoint_ws.(si) >= 0 then Some ws.stage_delay_ws.(si) else None
+
+(* ------------------------------------------------------------------ *)
+(* Batched structure-of-arrays analysis.
+
+   One row of [stride] lanes per cell/net: lane [k] of every row is
+   sample [k], so the forward pass touches each graph edge once per
+   block instead of once per sample, and the per-cell bookkeeping
+   (fanin walk, CSR offsets, bounds checks on the topo order) is
+   amortized over the whole block.  Within a lane the arithmetic — op
+   order, accumulator init, [>] comparisons — is exactly [analyze_into]
+   on that lane's delay column, so each lane's results are bit-identical
+   to a scalar analysis of the same delays. *)
+
+type batch_workspace = {
+  stride_b : int;
+  delays_b : float array;       (* cells x stride, cell-major; caller-filled *)
+  arrival_b : float array;      (* nets x stride *)
+  endpoint_b : float array;     (* flop slots x stride *)
+  acc_b : float array;          (* stride scratch *)
+  worst_b : float array;        (* per lane *)
+  worst_ep_b : int array;       (* per lane *)
+  stage_delay_b : float array;  (* n_stages x stride *)
+  stage_ep_b : int array;       (* n_stages x stride *)
+}
+
+let batch_workspace ?(lanes = 32) t =
+  if lanes < 1 then invalid_arg "Sta.batch_workspace: lanes < 1";
+  Metrics.incr m_workspaces;
+  {
+    stride_b = lanes;
+    delays_b = Array.make (Netlist.cell_count t.nl * lanes) 0.0;
+    arrival_b = Array.make (Netlist.net_count t.nl * lanes) 0.0;
+    endpoint_b = Array.make (max 1 (Array.length t.flops) * lanes) 0.0;
+    acc_b = Array.make lanes 0.0;
+    worst_b = Array.make lanes 0.0;
+    worst_ep_b = Array.make lanes (-1);
+    stage_delay_b = Array.make (n_stages * lanes) neg_infinity;
+    stage_ep_b = Array.make (n_stages * lanes) (-1);
+  }
+
+let batch_stride bw = bw.stride_b
+let batch_delays bw = bw.delays_b
+
+let analyze_batch_into ?skew t bw ~lanes =
+  if lanes < 1 || lanes > bw.stride_b then
+    invalid_arg "Sta.analyze_batch_into: lanes out of range";
+  (* One logical analysis per lane, so the analyze counter stays
+     comparable across engines. *)
+  Metrics.add m_analyzes lanes;
+  let nl = t.nl in
+  let skew = match skew with Some f -> f | None -> zero_skew in
+  let cap = bw.stride_b in
+  let arrival = bw.arrival_b in
+  let delays = bw.delays_b in
+  Array.fill arrival 0 (Array.length arrival) 0.0;
+  (* Unsafe lane accesses are sound: every row index is [id * cap] for
+     an id bounded by the array's construction ([cells * cap],
+     [nets * cap], [flops * cap]) and [k < lanes <= cap]. *)
+  Array.iter
+    (fun cid ->
+      let sk = skew cid in
+      let row = nl.Netlist.cells.(cid).Netlist.fanout * cap in
+      let drow = cid * cap in
+      for k = 0 to lanes - 1 do
+        Array.unsafe_set arrival (row + k)
+          (Array.unsafe_get delays (drow + k) +. sk)
+      done)
+    t.flops;
+  let pin_wire = t.pin_wire and pin_off = t.pin_off in
+  let acc = bw.acc_b in
+  Array.iter
+    (fun cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let fanins = c.Netlist.fanins in
+      let off = pin_off.(cid) in
+      Array.fill acc 0 lanes 0.0;
+      for pin = 0 to Array.length fanins - 1 do
+        let frow = Array.unsafe_get fanins pin * cap in
+        let pw = Array.unsafe_get pin_wire (off + pin) in
+        for k = 0 to lanes - 1 do
+          let a = Array.unsafe_get arrival (frow + k) +. pw in
+          if a > Array.unsafe_get acc k then Array.unsafe_set acc k a
+        done
+      done;
+      let orow = c.Netlist.fanout * cap in
+      let drow = cid * cap in
+      for k = 0 to lanes - 1 do
+        Array.unsafe_set arrival (orow + k)
+          (Array.unsafe_get acc k +. Array.unsafe_get delays (drow + k))
+      done)
+    t.order;
+  Array.fill bw.endpoint_b 0 (Array.length bw.endpoint_b) 0.0;
+  Array.fill bw.stage_delay_b 0 (n_stages * cap) neg_infinity;
+  Array.fill bw.stage_ep_b 0 (n_stages * cap) (-1);
+  Array.fill bw.worst_b 0 lanes neg_infinity;
+  Array.fill bw.worst_ep_b 0 lanes (-1);
+  Array.iteri
+    (fun slot cid ->
+      let c = nl.Netlist.cells.(cid) in
+      let arow = c.Netlist.fanins.(0) * cap in
+      let pw = pin_wire.(pin_off.(cid)) in
+      let setup = t.setup in
+      let sk = skew cid in
+      let erow = slot * cap in
+      match t.capture_of.(cid) with
+      | Some stage ->
+        let srow = Stage.index stage * cap in
+        for k = 0 to lanes - 1 do
+          let a = arrival.(arow + k) +. pw +. setup -. sk in
+          bw.endpoint_b.(erow + k) <- a;
+          if a > bw.worst_b.(k) then begin
+            bw.worst_b.(k) <- a;
+            bw.worst_ep_b.(k) <- cid
+          end;
+          if a > bw.stage_delay_b.(srow + k) then begin
+            bw.stage_delay_b.(srow + k) <- a;
+            bw.stage_ep_b.(srow + k) <- cid
+          end
+        done
+      | None ->
+        for k = 0 to lanes - 1 do
+          let a = arrival.(arow + k) +. pw +. setup -. sk in
+          bw.endpoint_b.(erow + k) <- a;
+          if a > bw.worst_b.(k) then begin
+            bw.worst_b.(k) <- a;
+            bw.worst_ep_b.(k) <- cid
+          end
+        done)
+    t.flops;
+  for k = 0 to lanes - 1 do
+    if bw.worst_ep_b.(k) = -1 then bw.worst_b.(k) <- 0.0
+  done
+
+let bw_worst bw k = bw.worst_b.(k)
+let bw_worst_endpoint bw k = bw.worst_ep_b.(k)
+
+let bw_endpoint_delay t bw cid k =
+  let slot = t.flop_slot.(cid) in
+  if slot < 0 then 0.0 else bw.endpoint_b.((slot * bw.stride_b) + k)
+
+let bw_stage_delay bw stage k =
+  let srow = Stage.index stage * bw.stride_b in
+  if bw.stage_ep_b.(srow + k) >= 0 then Some bw.stage_delay_b.(srow + k)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-propagation.
+
+   Consecutive analyses of the post-silicon settle loop differ only in
+   the supply assignment of a few islands, so most cell delays are
+   bitwise unchanged between calls.  The workspace keeps the previous
+   delay vector and the previous arrivals; an analysis seeds a
+   levelized worklist with the cells whose delay moved more than
+   [bound] and re-propagates only their fan-out cones, pruning any cell
+   whose recomputed arrival is bitwise unchanged.  With [bound = 0.]
+   (the default) the result is bit-identical to [analyze_into]: every
+   bitwise delay change is re-propagated through the same per-cell
+   arithmetic, and the endpoint reduction is shared code.  When the
+   seed set or the touched cone exceeds [max_frac] of the netlist the
+   pass abandons incrementality and falls back to one full forward
+   pass (counted in [sta_full_fallbacks_total]). *)
+
+type inc_workspace = {
+  iw_ws : workspace;
+  prev : float array;      (* per cell: delays incorporated in arrivals *)
+  mutable iw_valid : bool;
+  bucket : int array;      (* comb worklist, bucketed by level (level_off) *)
+  bucket_len : int array;  (* per level *)
+  in_bucket : bool array;  (* per cell *)
+}
+
+let inc_workspace t =
+  let n_cells = Netlist.cell_count t.nl in
+  {
+    iw_ws = workspace t;
+    prev = Array.make (max 1 n_cells) 0.0;
+    iw_valid = false;
+    bucket = Array.make (max 1 (Array.length t.order)) 0;
+    bucket_len = Array.make (max 1 (Array.length t.level_off - 1)) 0;
+    in_bucket = Array.make (max 1 n_cells) false;
+  }
+
+let inc_ws iw = iw.iw_ws
+let inc_invalidate iw = iw.iw_valid <- false
+
+let analyze_incremental_into ?skew ?(bound = 0.0) ?(max_frac = 0.25) t iw
+    ~delays =
+  let nl = t.nl in
+  let n_cells = Netlist.cell_count nl in
+  let ws = iw.iw_ws in
+  let full () =
+    analyze_into ?skew t ws ~delays;
+    Array.blit delays 0 iw.prev 0 n_cells;
+    iw.iw_valid <- true
+  in
+  if not iw.iw_valid then full ()
+  else begin
+    let changed cid =
+      if bound = 0.0 then delays.(cid) <> iw.prev.(cid)
+      else Float.abs (delays.(cid) -. iw.prev.(cid)) > bound
+    in
+    let limit =
+      max 1 (int_of_float (max_frac *. float_of_int (max 1 n_cells)))
+    in
+    let n_changed = ref 0 in
+    for cid = 0 to n_cells - 1 do
+      if changed cid then incr n_changed
+    done;
+    if !n_changed > limit then begin
+      Metrics.incr m_fallbacks;
+      full ()
+    end
+    else begin
+      let skew_f = match skew with Some f -> f | None -> zero_skew in
+      let arrival = ws.arrival_ws in
+      let push cid =
+        if not iw.in_bucket.(cid) then begin
+          iw.in_bucket.(cid) <- true;
+          let lv = t.level.(cid) in
+          iw.bucket.(t.level_off.(lv) + iw.bucket_len.(lv)) <- cid;
+          iw.bucket_len.(lv) <- iw.bucket_len.(lv) + 1
+        end
+      in
+      let push_sinks nid =
+        Array.iter
+          (fun (sink, _) ->
+            if not (is_seq nl.Netlist.cells.(sink)) then push sink)
+          nl.Netlist.nets.(nid).Netlist.sinks
+      in
+      (* Seed: changed flops move their launch arrival, changed comb
+         cells re-evaluate in place. *)
+      Array.iter
+        (fun cid ->
+          if changed cid then begin
+            iw.prev.(cid) <- delays.(cid);
+            let a = delays.(cid) +. skew_f cid in
+            let net = nl.Netlist.cells.(cid).Netlist.fanout in
+            if a <> arrival.(net) then begin
+              arrival.(net) <- a;
+              push_sinks net
+            end
+          end)
+        t.flops;
+      Array.iter (fun cid -> if changed cid then push cid) t.order;
+      let pin_wire = t.pin_wire and pin_off = t.pin_off in
+      let n_levels = Array.length iw.bucket_len in
+      let processed = ref 0 in
+      let aborted = ref false in
+      let lv = ref 0 in
+      while (not !aborted) && !lv < n_levels do
+        let base = t.level_off.(!lv) in
+        (* Pushes triggered at this level land strictly deeper, so the
+           bucket length is fixed while it drains. *)
+        let len = iw.bucket_len.(!lv) in
+        let j = ref 0 in
+        while (not !aborted) && !j < len do
+          let cid = iw.bucket.(base + !j) in
+          iw.in_bucket.(cid) <- false;
+          incr processed;
+          if !processed > limit then aborted := true
+          else begin
+            iw.prev.(cid) <- delays.(cid);
+            let c = nl.Netlist.cells.(cid) in
+            let fanins = c.Netlist.fanins in
+            let off = pin_off.(cid) in
+            let acc = ref 0.0 in
+            for pin = 0 to Array.length fanins - 1 do
+              let a = arrival.(fanins.(pin)) +. pin_wire.(off + pin) in
+              if a > !acc then acc := a
+            done;
+            let a = !acc +. delays.(cid) in
+            if a <> arrival.(c.Netlist.fanout) then begin
+              arrival.(c.Netlist.fanout) <- a;
+              push_sinks c.Netlist.fanout
+            end
+          end;
+          incr j
+        done;
+        iw.bucket_len.(!lv) <- 0;
+        incr lv
+      done;
+      if !aborted then begin
+        Array.fill iw.bucket_len 0 n_levels 0;
+        Array.fill iw.in_bucket 0 n_cells false;
+        Metrics.incr m_fallbacks;
+        full ()
+      end
+      else begin
+        Metrics.add m_inc_gates !processed;
+        Metrics.incr m_analyzes;
+        let skew = skew_f in
+        endpoint_pass ~skew t ws
+      end
+    end
+  end
 
 let analyze ?skew t ~delays =
   let ws = workspace t in

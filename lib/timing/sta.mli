@@ -100,6 +100,95 @@ val ws_worst_endpoint : workspace -> Netlist.cell_id
 val ws_endpoint_delay : workspace -> Netlist.cell_id -> float
 val ws_stage_delay : workspace -> Stage.t -> float option
 
+(** {2 Batched structure-of-arrays analysis}
+
+    The batched Monte-Carlo engine propagates a block of samples per
+    graph edge: every cell/net owns one contiguous row of [stride]
+    lanes, lane [k] of every row belonging to sample [k].  Within a
+    lane the arithmetic is exactly {!analyze_into} on that lane's delay
+    column — same op order, same accumulator init, same [>] reductions
+    — so each lane's results are bit-identical to a scalar analysis of
+    the same per-cell delays. *)
+
+type batch_workspace
+(** Scratch for one block of lanes; do not share across domains. *)
+
+val batch_workspace : ?lanes:int -> t -> batch_workspace
+(** [batch_workspace ~lanes t] preallocates rows of [lanes] (default
+    32, the Monte-Carlo chunk size) samples per cell and net. *)
+
+val batch_stride : batch_workspace -> int
+(** The row stride (the [lanes] capacity it was built with). *)
+
+val batch_delays : batch_workspace -> float array
+(** The cell-major delay block the caller fills before
+    {!analyze_batch_into}: cell [i]'s delay for lane [k] at index
+    [i * stride + k] — the layout {!Pvtol_variation.Sampler.scale_delays_batch}
+    writes. *)
+
+val analyze_batch_into :
+  ?skew:(Netlist.cell_id -> float) -> t -> batch_workspace -> lanes:int -> unit
+(** Analyze the first [lanes] columns of {!batch_delays} in one forward
+    pass ([1 <= lanes <= stride]).  Results are read per lane through
+    the [bw_*] accessors. *)
+
+val bw_worst : batch_workspace -> int -> float
+val bw_worst_endpoint : batch_workspace -> int -> Netlist.cell_id
+
+val bw_endpoint_delay : t -> batch_workspace -> Netlist.cell_id -> int -> float
+(** [bw_endpoint_delay t bw cid k] — endpoint delay of flop [cid] in
+    lane [k]; [0.] for non-sequential cells, like [ws_endpoint_delay]. *)
+
+val bw_stage_delay : batch_workspace -> Stage.t -> int -> float option
+
+(** {2 Incremental re-propagation}
+
+    For call sequences whose delay vectors differ in few cells — the
+    post-silicon settle loop re-times one Lgate realisation under a
+    handful of island supply assignments — the workspace keeps the
+    previous delays and arrivals, seeds a levelized worklist with the
+    cells whose delay moved more than [bound], and re-propagates only
+    their fan-out cones, pruning wherever a recomputed arrival is
+    bitwise unchanged. *)
+
+type inc_workspace
+(** A {!workspace} plus the previous delay vector and the worklist
+    buckets; do not share across domains. *)
+
+val inc_workspace : t -> inc_workspace
+
+val inc_ws : inc_workspace -> workspace
+(** The underlying workspace holding the latest results — read it with
+    the [ws_*] accessors. *)
+
+val inc_invalidate : inc_workspace -> unit
+(** Forget the cached arrivals; the next analysis runs a full pass.
+    Call it if the arrivals were mutated externally or the [skew]
+    function changed identity. *)
+
+val analyze_incremental_into :
+  ?skew:(Netlist.cell_id -> float) ->
+  ?bound:float ->
+  ?max_frac:float ->
+  t ->
+  inc_workspace ->
+  delays:float array ->
+  unit
+(** Same observable semantics as {!analyze_into} into [inc_ws].  With
+    [bound = 0.] (default) results are bit-identical to a full pass:
+    every bitwise delay change re-propagates through the same per-cell
+    arithmetic and the endpoint reduction is shared code.  A positive
+    [bound] trades exactness for work: delay moves within [bound] are
+    left un-propagated (stale arrivals persist until the cell is next
+    touched), bounding the error by [bound] per level of stale logic.
+    When the changed-cell set or the touched cone exceeds [max_frac]
+    (default [0.25]) of the netlist, the pass falls back to one full
+    forward pass — counted in [sta_full_fallbacks_total]; cells
+    actually re-evaluated are counted in [sta_incremental_gates_total].
+    The [skew] function must assign each flop the same offsets as the
+    previous call on this workspace (use {!inc_invalidate} when it
+    changes). *)
+
 val required : t -> delays:float array -> clock:float -> float array
 (** Backward pass: per-net required time under the clock constraint.
     Slack of a cell = required(fanout) - arrival(fanout). *)

@@ -65,6 +65,46 @@ let gaussian g =
 
 let gaussian_mu_sigma g ~mu ~sigma = mu +. (sigma *. gaussian g)
 
+let fill_gaussians g out ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length out then
+    invalid_arg "Srng.fill_gaussians: range out of bounds";
+  let stop = pos + len in
+  let i = ref pos in
+  (* Leading cached half, if the previous draw left one. *)
+  (if !i < stop then
+     match g.cached with
+     | Some z ->
+       g.cached <- None;
+       out.(!i) <- z;
+       incr i
+     | None -> ());
+  (* Whole pairs through a local state copy: one loop, no per-call
+     dispatch, no [float option] boxing.  The draw sequence — two
+     [uniform]s per Box-Muller pair, [u1 = 0] rejection included — is
+     exactly the one [gaussian] produces call by call. *)
+  let s = ref g.state in
+  let next_uniform () =
+    s := Int64.add !s golden_gamma;
+    Int64.to_float (Int64.shift_right_logical (mix !s) 11) *. 0x1.0p-53
+  in
+  (* Unsafe writes are sound: the range check above guarantees
+     [pos + len <= length out] and [!i + 1 < stop <= pos + len]. *)
+  while !i + 1 < stop do
+    let u1 = next_uniform () in
+    if u1 > 1e-300 then begin
+      let u2 = next_uniform () in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      Array.unsafe_set out !i (r *. cos theta);
+      Array.unsafe_set out (!i + 1) (r *. sin theta);
+      i := !i + 2
+    end
+  done;
+  g.state <- !s;
+  (* Odd tail: draw one more pair and cache its second half, exactly
+     like a trailing [gaussian] call. *)
+  if !i < stop then out.(!i) <- gaussian g
+
 let shuffle g a =
   for i = Array.length a - 1 downto 1 do
     let j = int g (i + 1) in

@@ -43,5 +43,13 @@ val gaussian : t -> float
 val gaussian_mu_sigma : t -> mu:float -> sigma:float -> float
 (** Normal draw with the given mean and standard deviation. *)
 
+val fill_gaussians : t -> float array -> pos:int -> len:int -> unit
+(** [fill_gaussians g out ~pos ~len] writes [len] standard normal draws
+    into [out.(pos .. pos+len-1)], {e bit-identical} to [len] successive
+    {!gaussian} calls (including the cached Box-Muller half at both
+    ends), but through one tight loop that keeps the SplitMix64 state in
+    a local and allocates nothing per pair — the bulk-draw entry point
+    of the batched Monte-Carlo engine. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

@@ -45,3 +45,49 @@ val scale_delays :
   unit
 (** [out.(i) <- base.(i) * delay_scale lgates.(i) (vdd i)] for all
     cells — the per-sample inner loop of the Monte Carlo engine. *)
+
+(** {2 Batched structure-of-arrays path}
+
+    The batched Monte-Carlo engine replaces the per-(cell, sample)
+    transcendental delay-scale evaluation with a per-supply Chebyshev
+    interpolant over the reachable Lgate window.  The interpolant
+    matches {!delay_scale} to within [1e-12] relative (observed
+    ~[3e-14]); lanes whose Lgate falls outside the fitted window —
+    beyond a 10-sigma random excursion — are evaluated exactly, so the
+    bound is unconditional. *)
+
+type batch
+(** Precomputed per-die scaling state: base delays, systematic Lgates,
+    per-cell supply, and one fitted polynomial per distinct supply
+    value.  Immutable after {!batch}; safe to share across domains. *)
+
+val batch :
+  t ->
+  base:float array ->
+  systematic:float array ->
+  vdd:(int -> float) ->
+  batch
+(** [batch t ~base ~systematic ~vdd] fits the fast delay-scale
+    polynomials for one die position.  Cost is O(cells + degree^2 per
+    distinct supply); amortized over every sample of the run. *)
+
+val batch_scale : batch -> int -> lgate_nm:float -> float
+(** [batch_scale b i ~lgate_nm] — the scale factor the batched path
+    assigns cell [i] at [lgate_nm] (polynomial inside the fitted
+    window, exact {!delay_scale} outside).  Exposed for the
+    differential tests. *)
+
+val scale_delays_batch :
+  batch ->
+  gauss:float array ->
+  samples:int ->
+  stride:int ->
+  out:float array ->
+  unit
+(** [scale_delays_batch b ~gauss ~samples ~stride ~out] scales a block
+    of [samples] lanes at once.  [gauss] is sample-major — lane [k]'s
+    draw for cell [i] at [gauss.(k * cells + i)], matching the order
+    {!Pvtol_util.Srng.fill_gaussians} writes — and [out] is cell-major:
+    lane [k]'s scaled delay for cell [i] lands at
+    [out.(i * stride + k)], one contiguous row of [stride] floats per
+    cell, ready for the SoA STA kernel. *)

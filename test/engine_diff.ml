@@ -1,0 +1,76 @@
+(* Reusable differential harness for the two Monte-Carlo engines.
+
+   Any MC-consuming path — [Monte_carlo.run], the [Postsilicon] die
+   kernel, a [Wafer] cell — can be run under both engines and diffed
+   here.  Comparison contract:
+
+   - The batched engine replaces the per-(cell, sample) transcendental
+     delay scale with a polynomial whose documented relative error is
+     <= 1e-12 ({!Pvtol_variation.Sampler.batch}); the forward STA pass
+     adds and maxes those delays without amplifying relative error, so
+     Monte-Carlo worst-slack samples must agree within {!rel_bound} —
+     orders looser than observed (~1e-14), tight enough that any real
+     regression (a swapped lane, a stale arrival, a misordered draw)
+     trips it at once.
+   - The incremental STA used by the post-silicon settle loop is exact
+     (bound 0.), so die records and wafer cells must match bit for
+     bit, and integer outputs (criticality counts, scenario verdicts)
+     must be equal everywhere. *)
+
+module MC = Pvtol_ssta.Monte_carlo
+
+let rel_bound = 1e-9
+
+(* Run [f] with [PVTOL_MC_ENGINE] set to [name] — exercises the same
+   environment plumbing users rely on; restored afterwards.  (An unset
+   variable is restored as [""], which selects the same default.) *)
+let with_engine_env name f =
+  let old = Sys.getenv_opt "PVTOL_MC_ENGINE" in
+  Unix.putenv "PVTOL_MC_ENGINE" name;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "PVTOL_MC_ENGINE" (Option.value old ~default:""))
+    f
+
+(* Apply [f] to both engines: [(golden, batched)]. *)
+let both f = (f MC.Golden, f MC.Batched)
+
+let check_floats ~label ?(rel = rel_bound) golden batched =
+  if Array.length golden <> Array.length batched then
+    Alcotest.failf "%s: length %d vs %d" label (Array.length golden)
+      (Array.length batched);
+  Array.iteri
+    (fun i g ->
+      let b = batched.(i) in
+      let ok =
+        g = b
+        || Float.is_finite g && Float.is_finite b
+           && Float.abs (b -. g)
+              <= rel *. Float.max (Float.abs g) (Float.abs b)
+      in
+      if not ok then
+        Alcotest.failf "%s: sample %d differs beyond %g rel (golden %h, batched %h)"
+          label i rel g b)
+    golden
+
+let sorted_crit (r : MC.result) =
+  Hashtbl.fold (fun cid n acc -> (cid, n) :: acc) r.MC.endpoint_critical_count []
+  |> List.sort compare
+
+(* Full Monte-Carlo result diff: worst-slack and per-stage sample
+   arrays within [rel], criticality tables equal. *)
+let check_mc ~label ?rel (golden : MC.result) (batched : MC.result) =
+  check_floats ~label:(label ^ ": worst_samples") ?rel golden.MC.worst_samples
+    batched.MC.worst_samples;
+  List.iter2
+    (fun (g : MC.stage_stats) (b : MC.stage_stats) ->
+      if not (Pvtol_netlist.Stage.equal g.MC.stage b.MC.stage) then
+        Alcotest.failf "%s: stage list mismatch" label;
+      check_floats
+        ~label:
+          (Printf.sprintf "%s: %s samples" label
+             (Pvtol_netlist.Stage.name g.MC.stage))
+        ?rel g.MC.samples b.MC.samples)
+    golden.MC.stages batched.MC.stages;
+  if sorted_crit golden <> sorted_crit batched then
+    Alcotest.failf "%s: criticality tables differ" label

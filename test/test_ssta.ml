@@ -48,9 +48,12 @@ let golden_crit_size = 81
 let test_mc_domain_invariance () =
   let module Pool = Pvtol_util.Pool in
   let _, _, p, sta, sampler = Lazy.force env in
+  (* The golden hex pins below are serial-engine values: pin the engine
+     explicitly so the test is independent of PVTOL_MC_ENGINE.  The
+     batched engine's own invariance is covered separately. *)
   let run_with pool =
-    MC.run ~config:{ MC.samples = 60; seed = 5 } ~pool ~sampler ~sta
-      ~placement:p ~position:Position.point_a ()
+    MC.run ~config:{ MC.samples = 60; seed = 5 } ~engine:MC.Golden ~pool
+      ~sampler ~sta ~placement:p ~position:Position.point_a ()
   in
   let check_golden label (r : MC.result) =
     Alcotest.(check bool)
@@ -110,6 +113,52 @@ let test_mc_domain_invariance () =
                   true
                   (a.MC.samples = b.MC.samples))
               r.MC.stages r0.MC.stages))
+    [ 1; 2; 4 ]
+
+let test_mc_batched_domain_invariance () =
+  (* The batched engine must be domain-count invariant in the same
+     bit-identical sense as the golden one: chunks own disjoint sample
+     slices and draw from jump-ahead RNG streams, so the fan-out width
+     must not leak into any result. *)
+  let module Pool = Pvtol_util.Pool in
+  let _, _, p, sta, sampler = Lazy.force env in
+  let run_with pool =
+    MC.run ~config:{ MC.samples = 60; seed = 5 } ~engine:MC.Batched ~pool
+      ~sampler ~sta ~placement:p ~position:Position.point_a ()
+  in
+  let reference = ref None in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let r = run_with pool in
+          let label = Printf.sprintf "batched %d domains" domains in
+          match !reference with
+          | None -> reference := Some r
+          | Some r0 ->
+            Alcotest.(check bool)
+              (label ^ ": worst_samples bit-identical to 1 domain")
+              true
+              (r.MC.worst_samples = r0.MC.worst_samples);
+            List.iter2
+              (fun (a : MC.stage_stats) (b : MC.stage_stats) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: %s samples bit-identical" label
+                     (Stage.name a.MC.stage))
+                  true
+                  (a.MC.samples = b.MC.samples))
+              r.MC.stages r0.MC.stages;
+            let crit r =
+              Hashtbl.fold (fun cid n acc -> (cid, n) :: acc)
+                r.MC.endpoint_critical_count []
+              |> List.sort compare
+            in
+            Alcotest.(check bool)
+              (label ^ ": criticality identical")
+              true
+              (crit r = crit r0)))
     [ 1; 2; 4 ]
 
 let test_mc_deterministic () =
@@ -376,6 +425,8 @@ let suite =
       Alcotest.test_case "mc deterministic" `Quick test_mc_deterministic;
       Alcotest.test_case "mc domain-count invariance + serial golden" `Quick
         test_mc_domain_invariance;
+      Alcotest.test_case "mc batched domain-count invariance" `Quick
+        test_mc_batched_domain_invariance;
       Alcotest.test_case "mc seed sensitivity" `Quick test_mc_seed_changes_samples;
       Alcotest.test_case "mc stage coverage" `Quick test_mc_stage_coverage;
       Alcotest.test_case "mc position ordering" `Quick test_mc_position_ordering;

@@ -361,6 +361,151 @@ let test_analyze_into_matches_analyze () =
         (Sta.flop_ids sta))
     [ 1.0; 1.3; 0.8 ]
 
+(* A more interesting graph than the chain for the batch/incremental
+   equivalence tests: the small VEX core, with reconvergence and
+   several capture stages. *)
+let vex_sta =
+  lazy
+    (let v = Pvtol_vex.Vex_core.build Pvtol_vex.Vex_core.small_config in
+     let nl = v.Pvtol_vex.Vex_core.netlist in
+     (nl, Sta.build nl ~wire_length:(fun _ -> 5.0)
+            ~capture:v.Pvtol_vex.Vex_core.capture_stage))
+
+let all_stages = [ Stage.Fetch; Stage.Decode; Stage.Execute; Stage.Writeback ]
+
+(* Deterministic per-(cell, lane) delay wiggle. *)
+let wiggled base i lane =
+  base.(i) *. (1.0 +. (0.1 *. sin (float_of_int ((i * 7) + (lane * 131)))))
+
+let check_ws_matches_lane label sta ws bw lane =
+  Alcotest.(check bool)
+    (label ^ ": worst") true
+    (Sta.ws_worst ws = Sta.bw_worst bw lane);
+  Alcotest.(check int)
+    (label ^ ": worst endpoint")
+    (Sta.ws_worst_endpoint ws)
+    (Sta.bw_worst_endpoint bw lane);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (label ^ ": " ^ Stage.name s ^ " delay")
+        true
+        (Sta.ws_stage_delay ws s = Sta.bw_stage_delay bw s lane))
+    all_stages;
+  Array.iter
+    (fun cid ->
+      if Sta.ws_endpoint_delay ws cid <> Sta.bw_endpoint_delay sta bw cid lane
+      then Alcotest.failf "%s: endpoint %d differs" label cid)
+    (Sta.flop_ids sta)
+
+let test_analyze_batch_matches_scalar () =
+  (* Every lane of a batched pass must be bit-identical to a scalar
+     [analyze_into] of that lane's delay column — including a partial
+     batch ([lanes] below the stride) and a skewed clock. *)
+  let _, sta = Lazy.force vex_sta in
+  let base = Sta.nominal_delays sta in
+  let n = Array.length base in
+  let bw = Sta.batch_workspace ~lanes:8 sta in
+  let stride = Sta.batch_stride bw in
+  let block = Sta.batch_delays bw in
+  let ws = Sta.workspace sta in
+  let scalar = Array.make n 0.0 in
+  let skews =
+    [ ("no skew", None); ("skewed", Some (fun cid -> 0.01 *. float_of_int (cid mod 5))) ]
+  in
+  List.iter
+    (fun (sname, skew) ->
+      let lanes = 5 in
+      for i = 0 to n - 1 do
+        for k = 0 to lanes - 1 do
+          block.((i * stride) + k) <- wiggled base i k
+        done
+      done;
+      (match skew with
+      | None -> Sta.analyze_batch_into sta bw ~lanes
+      | Some sk -> Sta.analyze_batch_into ~skew:sk sta bw ~lanes);
+      for k = 0 to lanes - 1 do
+        for i = 0 to n - 1 do
+          scalar.(i) <- wiggled base i k
+        done;
+        (match skew with
+        | None -> Sta.analyze_into sta ws ~delays:scalar
+        | Some sk -> Sta.analyze_into ~skew:sk sta ws ~delays:scalar);
+        check_ws_matches_lane
+          (Printf.sprintf "%s lane %d" sname k)
+          sta ws bw k
+      done)
+    skews
+
+let test_analyze_incremental_matches_full () =
+  (* The default-bound incremental pass must stay bit-identical to a
+     full pass across a settle-loop-like sequence of delay vectors:
+     first call (cold), a sparse island raise, a single-cell change, an
+     identical re-analysis, a whole-netlist change (fallback), and a
+     post-invalidate call. *)
+  let _, sta = Lazy.force vex_sta in
+  let base = Sta.nominal_delays sta in
+  let n = Array.length base in
+  let iw = Sta.inc_workspace sta in
+  let ws_full = Sta.workspace sta in
+  let delays = Array.make n 0.0 in
+  let apply label f =
+    f ();
+    Sta.analyze_incremental_into sta iw ~delays;
+    Sta.analyze_into sta ws_full ~delays;
+    let ws = Sta.inc_ws iw in
+    Alcotest.(check bool) (label ^ ": worst") true
+      (Sta.ws_worst ws = Sta.ws_worst ws_full);
+    Alcotest.(check int) (label ^ ": worst endpoint")
+      (Sta.ws_worst_endpoint ws_full)
+      (Sta.ws_worst_endpoint ws);
+    List.iter
+      (fun s ->
+        Alcotest.(check bool) (label ^ ": " ^ Stage.name s) true
+          (Sta.ws_stage_delay ws s = Sta.ws_stage_delay ws_full s))
+      all_stages;
+    Array.iter
+      (fun cid ->
+        if Sta.ws_endpoint_delay ws cid <> Sta.ws_endpoint_delay ws_full cid
+        then Alcotest.failf "%s: endpoint %d differs" label cid)
+      (Sta.flop_ids sta)
+  in
+  apply "cold start" (fun () -> Array.blit base 0 delays 0 n);
+  apply "island raise" (fun () ->
+      for i = 0 to n - 1 do
+        delays.(i) <- (if i mod 3 = 0 then 0.8 *. base.(i) else base.(i))
+      done);
+  apply "single cell" (fun () -> delays.(n / 2) <- delays.(n / 2) *. 1.5);
+  apply "identical re-analysis" (fun () -> ());
+  apply "whole netlist (fallback)" (fun () ->
+      for i = 0 to n - 1 do
+        delays.(i) <- base.(i) *. 1.07
+      done);
+  Sta.inc_invalidate iw;
+  apply "after invalidate" (fun () -> ())
+
+let test_analyze_incremental_bound () =
+  (* A positive [bound] leaves sub-bound delay moves un-propagated: the
+     cached results must then match the PREVIOUS vector's full pass,
+     not the new one's. *)
+  let _, sta = Lazy.force vex_sta in
+  let base = Sta.nominal_delays sta in
+  let iw = Sta.inc_workspace sta in
+  Sta.analyze_incremental_into sta iw ~delays:base;
+  let worst0 = Sta.ws_worst (Sta.inc_ws iw) in
+  let nudged = Array.map (fun d -> d +. 1e-6) base in
+  Sta.analyze_incremental_into ~bound:1e-3 sta iw ~delays:nudged;
+  Alcotest.(check bool) "sub-bound moves are skipped" true
+    (Sta.ws_worst (Sta.inc_ws iw) = worst0);
+  (* The same nudge with the exact default bound propagates. *)
+  Sta.analyze_incremental_into sta iw ~delays:nudged;
+  let ws_full = Sta.workspace sta in
+  Sta.analyze_into sta ws_full ~delays:nudged;
+  Alcotest.(check bool) "exact pass catches up" true
+    (Sta.ws_worst (Sta.inc_ws iw) = Sta.ws_worst ws_full);
+  Alcotest.(check bool) "nudge was visible" true
+    (Sta.ws_worst ws_full <> worst0)
+
 let test_stage_endpoint_ids () =
   let nl = chain_netlist 2 in
   let sta = Sta.build nl ~wire_length:no_wire ~capture:capture_all in
@@ -378,6 +523,12 @@ let suite =
       Alcotest.test_case "sta max path" `Quick test_sta_uses_max_path;
       Alcotest.test_case "analyze_into matches analyze" `Quick
         test_analyze_into_matches_analyze;
+      Alcotest.test_case "batch lanes match scalar" `Quick
+        test_analyze_batch_matches_scalar;
+      Alcotest.test_case "incremental matches full" `Quick
+        test_analyze_incremental_matches_full;
+      Alcotest.test_case "incremental bound semantics" `Quick
+        test_analyze_incremental_bound;
       Alcotest.test_case "stage endpoint ids" `Quick test_stage_endpoint_ids;
       qcheck test_delay_monotonicity;
       Alcotest.test_case "required consistency" `Quick test_required_consistency;

@@ -75,6 +75,40 @@ let test_srng_jump () =
   (* d skipped the same pair of uniforms *)
   Alcotest.(check int64) "cache dropped" (Srng.bits64 c) (Srng.bits64 d)
 
+let test_srng_fill_gaussians () =
+  (* Bulk fill is bit-identical to successive [gaussian] calls for any
+     alignment of the Box-Muller pair cache: even/odd lengths, a
+     pre-existing cached half, and segmented fills. *)
+  let check label ~warmup lens =
+    let total = List.fold_left ( + ) 0 lens in
+    let a = Srng.create 41 and b = Srng.create 41 in
+    if warmup then (
+      ignore (Srng.gaussian a);
+      ignore (Srng.gaussian b));
+    let expect = Array.init total (fun _ -> Srng.gaussian a) in
+    let got = Array.make total nan in
+    let pos = ref 0 in
+    List.iter
+      (fun len ->
+        Srng.fill_gaussians b got ~pos:!pos ~len;
+        pos := !pos + len)
+      lens;
+    for i = 0 to total - 1 do
+      if got.(i) <> expect.(i) then
+        Alcotest.failf "%s: draw %d differs (%h vs %h)" label i got.(i)
+          expect.(i)
+    done;
+    (* And the two generators leave the stream in the same state. *)
+    Alcotest.(check int64)
+      (label ^ ": stream state") (Srng.bits64 a) (Srng.bits64 b)
+  in
+  check "even" ~warmup:false [ 64 ];
+  check "odd" ~warmup:false [ 63 ];
+  check "cached half" ~warmup:true [ 64 ];
+  check "cached half, odd" ~warmup:true [ 7 ];
+  check "segmented" ~warmup:false [ 5; 1; 12; 0; 9 ];
+  check "single" ~warmup:true [ 1 ]
+
 let test_srng_split_diverges () =
   let a = Srng.create 11 in
   let b = Srng.split a in
@@ -359,6 +393,7 @@ let suite =
       Alcotest.test_case "srng gaussian moments" `Quick test_srng_gaussian_moments;
       Alcotest.test_case "srng split diverges" `Quick test_srng_split_diverges;
       Alcotest.test_case "srng jump" `Quick test_srng_jump;
+      Alcotest.test_case "srng fill_gaussians" `Quick test_srng_fill_gaussians;
       Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
       Alcotest.test_case "pool map" `Quick test_pool_map;
       Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
