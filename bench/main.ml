@@ -43,6 +43,7 @@ module Pool = Pvtol_util.Pool
 module Metrics = Pvtol_util.Metrics
 module MC = Pvtol_ssta.Monte_carlo
 module Wafer = Pvtol_core.Wafer
+module Compensation = Pvtol_core.Compensation
 
 let ctx = ref None
 
@@ -263,6 +264,36 @@ let kernel_estimates ~quick ?(only = fun _ -> true) () =
   let gauss = Array.make (lanes * n) 0.0 in
   let brng = Srng.create 99 in
   let batch = Sampler.batch sampler ~base ~systematic ~vdd:(fun _ -> low) in
+  (* Compensation-strategy kernels: one failing die is drawn up-front
+     at the worst corner (retrying a few draws so the knobs have
+     violations to chase), then each kernel re-applies its strategy to
+     that same die.  The applies re-derive everything from the scratch's
+     gate lengths, so repeated runs are deterministic; the detect kernel
+     gets its own scratch and RNG so its iterations cannot disturb the
+     pinned die. *)
+  let comp_ctx = Compensation.context t in
+  let comp_v = Flow.variant t Island.Vertical in
+  let comp_sc = Compensation.scratch comp_ctx in
+  let comp_sys = Compensation.systematic comp_ctx Position.point_a in
+  let comp_d =
+    let comp_rng = Srng.create 7 in
+    let rec draw n d =
+      if d.Compensation.violating > 0 || n >= 50 then d
+      else
+        draw (n + 1)
+          (Compensation.detect comp_ctx comp_sc ~systematic:comp_sys comp_rng)
+    in
+    draw 0 (Compensation.detect comp_ctx comp_sc ~systematic:comp_sys comp_rng)
+  in
+  let comp_apply choice =
+    (Compensation.build t comp_ctx comp_v choice).Compensation.fresh_apply ()
+  in
+  let apply_vi = comp_apply Compensation.Vi in
+  let apply_cw = comp_apply Compensation.Chipwide in
+  let apply_skew = comp_apply Compensation.Skew in
+  let apply_buf = comp_apply Compensation.Buffers in
+  let det_sc = Compensation.scratch comp_ctx in
+  let det_rng = Srng.create 11 in
   let tests =
     [
       ( "fig2/field-eval-4096", 1,
@@ -321,6 +352,16 @@ let kernel_estimates ~quick ?(only = fun _ -> true) () =
                ~wire_length:(fun nid ->
                  Pvtol_place.Placement.wire_length placement nid)
                ~clock_ns:(Flow.clock t) (Flow.netlist t)) );
+      ( "compare/detect", 1,
+        fun () ->
+          ignore
+            (Compensation.detect comp_ctx det_sc ~systematic:comp_sys det_rng) );
+      ( "compare/apply-vi", 1, fun () -> ignore (apply_vi comp_sc comp_d) );
+      ( "compare/apply-chipwide", 1,
+        fun () -> ignore (apply_cw comp_sc comp_d) );
+      ( "compare/apply-skew", 1, fun () -> ignore (apply_skew comp_sc comp_d) );
+      ( "compare/apply-buffers", 1,
+        fun () -> ignore (apply_buf comp_sc comp_d) );
       ( "gatesim/cycle", 1,
         fun () ->
           ignore

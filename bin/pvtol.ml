@@ -6,6 +6,8 @@ module Experiments = Pvtol_core.Experiments
 module Flow = Pvtol_core.Flow
 module Island = Pvtol_core.Island
 module Wafer = Pvtol_core.Wafer
+module Compare = Pvtol_core.Compare
+module Compensation = Pvtol_core.Compensation
 module Trace = Pvtol_util.Trace
 module Metrics = Pvtol_util.Metrics
 module Vex_core = Pvtol_vex.Vex_core
@@ -293,6 +295,119 @@ let wafer_cmd =
       $ direction $ json_file $ progress)
 
 (* ------------------------------------------------------------------ *)
+(* Strategy comparison                                                  *)
+
+let strategies_conv =
+  let parse s =
+    let names = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+        match Compensation.choice_of_name (String.trim n) with
+        | Some c when not (List.mem c acc) -> go (c :: acc) rest
+        | Some _ -> Error (`Msg (Printf.sprintf "duplicate strategy %S" n))
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown strategy %S (expected vi, chipwide, skew or \
+                   buffers)"
+                  n)))
+    in
+    if s = "" then Error (`Msg "empty strategy list") else go [] names
+  in
+  let print fmt cs =
+    Format.pp_print_string fmt (Compensation.choices_label cs)
+  in
+  Arg.conv (parse, print)
+
+let compare_cmd =
+  let strategies =
+    let doc =
+      "Comma-separated compensation strategies to evaluate: any of \
+       $(b,vi) (the paper's voltage islands), $(b,chipwide) (full-chip \
+       1.2V adaptation), $(b,skew) (post-silicon clock-skew tuning) and \
+       $(b,buffers) (tunable delay-trim buffers)."
+    in
+    Arg.(
+      value
+      & opt strategies_conv Compensation.all_choices
+      & info [ "strategies" ] ~doc ~docv:"LIST")
+  in
+  let grid =
+    let doc = "Die-position grid over the chip, columns x rows." in
+    Arg.(value & opt grid_conv (8, 8) & info [ "grid" ] ~doc ~docv:"NxM")
+  in
+  let dies =
+    let doc = "Dies simulated per grid cell (per exposure field)." in
+    Arg.(value & opt int 12 & info [ "dies" ] ~doc ~docv:"N")
+  in
+  let fields =
+    let doc =
+      "Exposure-field replicas of the grid (same systematic map, fresh \
+       random draws)."
+    in
+    Arg.(value & opt int 1 & info [ "fields" ] ~doc ~docv:"N")
+  in
+  let compare_seed =
+    let doc = "Seed of the per-die random Lgate draws." in
+    Arg.(value & opt int 7 & info [ "compare-seed" ] ~doc ~docv:"SEED")
+  in
+  let direction =
+    let doc = "Island slicing the vi strategy deploys: $(docv)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("vertical", Island.Vertical); ("horizontal", Island.Horizontal);
+               ("quadrant", Island.Quadrant) ])
+          Island.Vertical
+      & info [ "direction" ] ~doc ~docv:"vertical|horizontal|quadrant")
+  in
+  let json_file =
+    let doc = "Also write the comparison report as JSON." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let run quick samples seed trace trace_out metrics_out trace_chrome
+      strategies (nx, ny) dies_per_cell fields compare_seed direction
+      json_file =
+    with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
+      ~trace_chrome (fun t ->
+        let cfg =
+          {
+            Compare.nx;
+            ny;
+            dies_per_cell;
+            fields;
+            seed = compare_seed;
+            direction;
+            choices = strategies;
+          }
+        in
+        let r = Compare.compare t cfg in
+        print_string (Compare.render r);
+        match json_file with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          output_string oc (Compare.to_json r);
+          close_out oc;
+          Printf.printf "\ncomparison written to %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compensation-strategy shoot-out: evaluate voltage islands, \
+          chip-wide adaptation, clock-skew tuning and tunable buffers \
+          on the same wafer die population (shared per-die detect pass \
+          and Lgate realisations) and report yield, mean power and area \
+          overhead per strategy.")
+    Term.(
+      const run $ quick $ samples $ seed $ trace_flag $ trace_out
+      $ metrics_out $ trace_chrome $ strategies $ grid $ dies $ fields
+      $ compare_seed $ direction $ json_file)
+
+(* ------------------------------------------------------------------ *)
 (* Design-file dumps                                                    *)
 
 let outdir =
@@ -359,6 +474,6 @@ let main =
         const summary_run $ quick $ trace_flag $ trace_out $ metrics_out
         $ trace_chrome)
     (Cmd.info "pvtol" ~version:"1.0.0" ~doc)
-    (cmds_exhibits @ [ wafer_cmd; dump_cmd; summary_cmd ])
+    (cmds_exhibits @ [ wafer_cmd; compare_cmd; dump_cmd; summary_cmd ])
 
 let () = exit (Cmd.eval main)

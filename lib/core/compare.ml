@@ -1,0 +1,326 @@
+(* Strategy comparison harness: the shared detect pass of
+   [Compensation], fanned out over the same wafer grid as [Wafer] (same
+   positions, same per-cell RNG seeds), with every selected strategy
+   applied to every die.  Row-major ordered reduction keeps reports
+   bit-identical for any domain count. *)
+module Sg = Stage
+module Pool = Pvtol_util.Pool
+module Srng = Pvtol_util.Srng
+module Stream_stats = Pvtol_util.Stream_stats
+module Welford = Stream_stats.Welford
+module Table = Pvtol_util.Table
+module Metrics = Pvtol_util.Metrics
+
+let m_compare_dies = Metrics.counter "compare_dies_total"
+
+type config = {
+  nx : int;
+  ny : int;
+  dies_per_cell : int;
+  fields : int;
+  seed : int;
+  direction : Island.direction;
+  choices : Compensation.choice list;
+}
+
+let default_config =
+  {
+    nx = 8;
+    ny = 8;
+    dies_per_cell = 12;
+    fields = 1;
+    seed = 7;
+    direction = Island.Vertical;
+    choices = Compensation.all_choices;
+  }
+
+(* The grid geometry and seeding are Wafer's, by construction: convert
+   the config and call its helpers, so a die at (field, ix, iy, index)
+   sees the same systematic map and the same random draw in both
+   sweeps. *)
+let wafer_config cfg : Wafer.config =
+  {
+    Wafer.nx = cfg.nx;
+    ny = cfg.ny;
+    dies_per_cell = cfg.dies_per_cell;
+    fields = cfg.fields;
+    seed = cfg.seed;
+    direction = cfg.direction;
+  }
+
+type strategy_result = {
+  name : string;
+  title : string;
+  knob_units : string;
+  yield : float;
+  mean_power_mw : float;
+  mean_knob : float;
+  knob_total : int;
+  mean_area_um2 : float;
+  static_area_um2 : float;
+  max_knob : int;
+}
+
+type report = {
+  config : config;
+  clock_ns : float;
+  dies : int;
+  yield_uncompensated : float;
+  power_baseline_mw : float;
+  results : strategy_result list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell accumulators (one sub-accumulator per strategy)             *)
+
+type sacc = {
+  mutable s_meets : int;
+  mutable s_knob : int;
+  s_power : Welford.t;
+  s_knobs : Welford.t;
+  s_area : Welford.t;
+}
+
+type acc = {
+  mutable a_dies : int;
+  mutable a_unc : int;
+  a_strats : sacc array;
+}
+
+let acc_create n =
+  {
+    a_dies = 0;
+    a_unc = 0;
+    a_strats =
+      Array.init n (fun _ ->
+          {
+            s_meets = 0;
+            s_knob = 0;
+            s_power = Welford.create ();
+            s_knobs = Welford.create ();
+            s_area = Welford.create ();
+          });
+  }
+
+let sacc_add sa (o : Compensation.outcome) =
+  if o.Compensation.meets then sa.s_meets <- sa.s_meets + 1;
+  sa.s_knob <- sa.s_knob + o.Compensation.knob;
+  Welford.add sa.s_power o.Compensation.power_mw;
+  Welford.add sa.s_knobs (float_of_int o.Compensation.knob);
+  Welford.add sa.s_area o.Compensation.area_um2
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                            *)
+
+let rec has_dup = function
+  | [] -> false
+  | c :: rest -> List.mem c rest || has_dup rest
+
+let run ?pool (t : Flow.t) (v : Flow.variant) cfg =
+  if cfg.nx <= 0 || cfg.ny <= 0 || cfg.dies_per_cell <= 0 || cfg.fields <= 0
+  then invalid_arg "Compare.run: grid, dies and fields must be positive";
+  if cfg.choices = [] then invalid_arg "Compare.run: no strategies selected";
+  if has_dup cfg.choices then
+    invalid_arg "Compare.run: duplicate strategy selected";
+  if v.Flow.direction <> cfg.direction then
+    invalid_arg "Compare.run: variant direction does not match the config";
+  let ctx = Compensation.context t in
+  let strategies =
+    Array.of_list (List.map (Compensation.build t ctx v) cfg.choices)
+  in
+  let n_strats = Array.length strategies in
+  let wcfg = wafer_config cfg in
+  let pool = match pool with Some p -> p | None -> Pool.shared () in
+  let total_cells = cfg.nx * cfg.ny in
+  (* One chunk per grid cell; each worker carries the shared detect
+     scratch plus one private apply state per strategy, reused across
+     every cell it picks up.  A cell's dies run serially field-major,
+     applying the strategies in request order on each die. *)
+  let accs =
+    Pool.parallel_chunks pool ~chunks:total_cells
+      ~init:(fun ~worker:_ ->
+        ( Compensation.scratch ctx,
+          Array.map (fun s -> s.Compensation.fresh_apply ()) strategies ))
+      ~f:(fun (sc, applies) c ->
+        let ix = c mod cfg.nx and iy = c / cfg.nx in
+        let systematic =
+          Compensation.systematic ctx (Wafer.cell_position wcfg ~ix ~iy)
+        in
+        let acc = acc_create n_strats in
+        for field = 0 to cfg.fields - 1 do
+          let rng = Srng.create (Wafer.cell_seed wcfg ~field ~ix ~iy) in
+          for _ = 1 to cfg.dies_per_cell do
+            let d = Compensation.detect ctx sc ~systematic rng in
+            acc.a_dies <- acc.a_dies + 1;
+            if d.Compensation.violating = 0 then acc.a_unc <- acc.a_unc + 1;
+            for i = 0 to n_strats - 1 do
+              sacc_add acc.a_strats.(i) (applies.(i) sc d)
+            done
+          done
+        done;
+        Metrics.add m_compare_dies acc.a_dies;
+        acc)
+  in
+  (* Ordered reduction (row-major): totals are bit-identical no matter
+     how the chunks were scheduled. *)
+  let total = acc_create n_strats in
+  Array.iter
+    (fun acc ->
+      total.a_dies <- total.a_dies + acc.a_dies;
+      total.a_unc <- total.a_unc + acc.a_unc;
+      Array.iteri
+        (fun i sa ->
+          let ta = total.a_strats.(i) in
+          ta.s_meets <- ta.s_meets + sa.s_meets;
+          ta.s_knob <- ta.s_knob + sa.s_knob;
+          Welford.merge ~into:ta.s_power sa.s_power;
+          Welford.merge ~into:ta.s_knobs sa.s_knobs;
+          Welford.merge ~into:ta.s_area sa.s_area)
+        acc.a_strats)
+    accs;
+  let dies = float_of_int total.a_dies in
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i (s : Compensation.strategy) ->
+           let sa = total.a_strats.(i) in
+           {
+             name = s.Compensation.name;
+             title = s.Compensation.title;
+             knob_units = s.Compensation.knob_units;
+             yield = float_of_int sa.s_meets /. dies;
+             mean_power_mw = Welford.mean sa.s_power;
+             mean_knob = Welford.mean sa.s_knobs;
+             knob_total = sa.s_knob;
+             mean_area_um2 = Welford.mean sa.s_area;
+             static_area_um2 = s.Compensation.static_area_um2;
+             max_knob = s.Compensation.max_knob;
+           })
+         strategies)
+  in
+  {
+    config = cfg;
+    clock_ns = Compensation.clock ctx;
+    dies = total.a_dies;
+    yield_uncompensated = float_of_int total.a_unc /. dies;
+    power_baseline_mw = Compensation.power_baseline_mw ctx;
+    results;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stage-graph exposure                                                 *)
+
+let config_label cfg =
+  Printf.sprintf "%dx%d-d%d-f%d-s%d-%s-%s" cfg.nx cfg.ny cfg.dies_per_cell
+    cfg.fields cfg.seed
+    (Island.direction_name cfg.direction)
+    (Compensation.choices_label cfg.choices)
+
+(* One keyed stage family per flow handle, registered on its graph the
+   first time a comparison is requested (the family cannot be declared
+   in Flow itself: Compare sits above Flow in the module order). *)
+let families_mu = Mutex.create ()
+let families : (Sg.graph * (config, report) Sg.keyed) list ref = ref []
+
+let family (t : Flow.t) : (config, report) Sg.keyed =
+  let g = Flow.graph t in
+  Mutex.lock families_mu;
+  let f =
+    match List.find_opt (fun (g', _) -> g' == g) !families with
+    | Some (_, f) -> f
+    | None ->
+      let f =
+        Sg.keyed g ~name:"compare"
+          ~deps:(fun cfg ->
+            [ "sta"; "placed"; "sampler"; "clock";
+              "shifters[" ^ Island.direction_name cfg.direction ^ "]" ])
+          ~key_label:config_label
+          (fun cfg -> run t (Flow.variant t cfg.direction) cfg)
+      in
+      families := (g, f) :: !families;
+      f
+  in
+  Mutex.unlock families_mu;
+  f
+
+let compare t cfg = Sg.get_keyed (family t) cfg
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+let render r =
+  let cfg = r.config in
+  let tbl =
+    Table.create
+      ~header:
+        [ "strategy"; "yield"; "mean power"; "vs base"; "mean knob";
+          "exercised area"; "static area" ]
+  in
+  Table.add_row tbl
+    [ "uncompensated"; Table.pcell r.yield_uncompensated;
+      Table.fcell ~decimals:2 r.power_baseline_mw ^ " mW"; "+0.0%"; "-"; "-";
+      "-" ];
+  Table.add_sep tbl;
+  List.iter
+    (fun s ->
+      Table.add_row tbl
+        [
+          s.title;
+          Table.pcell s.yield;
+          Table.fcell ~decimals:2 s.mean_power_mw ^ " mW";
+          Printf.sprintf "%+.1f%%"
+            (100.0 *. ((s.mean_power_mw /. r.power_baseline_mw) -. 1.0));
+          Printf.sprintf "%.2f %s" s.mean_knob s.knob_units;
+          Table.fcell ~decimals:1 s.mean_area_um2 ^ " um2";
+          Table.fcell ~decimals:1 s.static_area_um2 ^ " um2";
+        ])
+    r.results;
+  Printf.sprintf
+    "strategy comparison: %dx%d grid x %d dies/cell x %d field(s) = %d dies \
+     (%s slicing, clock %.3f ns)\n%s"
+    cfg.nx cfg.ny cfg.dies_per_cell cfg.fields r.dies
+    (Island.direction_name cfg.direction)
+    r.clock_ns
+    (Table.render tbl)
+
+let pp fmt r = Format.pp_print_string fmt (render r)
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                          *)
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let to_json r =
+  let cfg = r.config in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"grid\": { \"nx\": %d, \"ny\": %d },\n" cfg.nx cfg.ny;
+  add "  \"dies_per_cell\": %d,\n" cfg.dies_per_cell;
+  add "  \"fields\": %d,\n" cfg.fields;
+  add "  \"seed\": %d,\n" cfg.seed;
+  add "  \"direction\": \"%s\",\n" (Island.direction_name cfg.direction);
+  add "  \"clock_ns\": %s,\n" (json_float r.clock_ns);
+  add "  \"dies\": %d,\n" r.dies;
+  add "  \"yield_uncompensated\": %s,\n" (json_float r.yield_uncompensated);
+  add "  \"power_baseline_mw\": %s,\n" (json_float r.power_baseline_mw);
+  add "  \"strategies\": [\n";
+  List.iteri
+    (fun i s ->
+      add
+        "    { \"name\": \"%s\", \"title\": \"%s\", \"yield\": %s, \
+         \"mean_power_mw\": %s, \"mean_knob\": %s, \"knob_total\": %d, \
+         \"knob_units\": \"%s\", \"max_knob\": %d, \"mean_area_um2\": %s, \
+         \"static_area_um2\": %s }%s\n"
+        s.name s.title (json_float s.yield)
+        (json_float s.mean_power_mw)
+        (json_float s.mean_knob)
+        s.knob_total s.knob_units s.max_knob
+        (json_float s.mean_area_um2)
+        (json_float s.static_area_um2)
+        (if i < List.length r.results - 1 then "," else ""))
+    r.results;
+  add "  ]\n}\n";
+  Buffer.contents buf

@@ -1,11 +1,7 @@
-open Pvtol_netlist
-module Sta = Pvtol_timing.Sta
-module Sampler = Pvtol_variation.Sampler
 module Position = Pvtol_variation.Position
 module Power = Pvtol_power.Power
-module Placement = Pvtol_place.Placement
-module Srng = Pvtol_util.Srng
 module Metrics = Pvtol_util.Metrics
+module Srng = Pvtol_util.Srng
 module Monte_carlo = Pvtol_ssta.Monte_carlo
 
 let m_dies = Metrics.counter "postsilicon_dies_total"
@@ -31,35 +27,26 @@ type study = {
   mean_power_chip_wide_mw : float;
 }
 
-let analyzed = [ Stage.Decode; Stage.Execute; Stage.Writeback ]
-
 (* ------------------------------------------------------------------ *)
-(* Single-die kernel                                                    *)
+(* Single-die kernel — the shared detect pass plus the paper's two
+   reference strategies (voltage islands, chip-wide adaptation), both
+   expressed through the {!Compensation} interface.                     *)
 
 type kernel = {
-  sampler : Sampler.t;
-  placement : Placement.t;
-  sta : Sta.t;
-  clock : float;
-  low : float;
-  high : float;
-  domains : int array;
-  n_islands : int;
-  base : float array;
-  n_cells : int;
-  engine : Monte_carlo.engine;
+  ctx : Compensation.ctx;
+  vi : Compensation.strategy;
+  cw : Compensation.strategy;
   (* Power per compensation level, computed once (chip leakage varies
-     with position but the dominant switching term does not). *)
+     with position but the dominant switching term does not).  Reads
+     the same memoized power stages as the island strategy's own cost
+     table. *)
   power_of_raised : float array;
-  power_chip_wide : float;
-  power_baseline : float;
 }
 
 type scratch = {
-  ws : Sta.workspace;
-  inc : Sta.inc_workspace;  (* [ws] is its inner workspace *)
-  lgates : float array;
-  delays : float array;
+  sc : Compensation.scratch;
+  vi_apply : Compensation.scratch -> Compensation.detect -> Compensation.outcome;
+  cw_apply : Compensation.scratch -> Compensation.detect -> Compensation.outcome;
 }
 
 type die = {
@@ -72,139 +59,59 @@ type die = {
   die_worst_low_ns : float;
 }
 
-let kernel ?(engine = Monte_carlo.engine_of_env ()) (t : Flow.t)
-    (v : Flow.variant) =
-  let nl = Flow.netlist t in
-  let lib = nl.Netlist.lib in
-  let low = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_low in
-  let high = lib.Pvtol_stdcell.Cell.process.Pvtol_stdcell.Process.vdd_high in
-  let part = v.Flow.slicing.Slicing.partition in
-  let placement = Flow.placement t in
-  let sta = Flow.sta t in
-  let domains = Island.domains part placement in
-  let n_islands = Array.length part.Island.islands in
+let kernel ?engine (t : Flow.t) (v : Flow.variant) =
+  let ctx = Compensation.context ?engine t in
+  let vi = Compensation.voltage_islands t ctx v in
+  let cw = Compensation.chip_wide ctx in
   let power_of_raised =
-    Array.init (n_islands + 1) (fun raised ->
+    Array.init
+      (vi.Compensation.max_knob + 1)
+      (fun raised ->
         Power.total_mw
           (Flow.power_at t ~position:Position.point_b
              (Flow.Islands (v.Flow.direction, raised)))
             .Power.total)
   in
-  let power_chip_wide =
-    Power.total_mw
-      (Flow.power_at t ~position:Position.point_b Flow.Chip_wide_high).Power.total
-  in
-  let power_baseline =
-    Power.total_mw
-      (Flow.power_at t ~position:Position.point_b Flow.Baseline_low).Power.total
-  in
-  {
-    sampler = Flow.sampler t;
-    placement;
-    sta;
-    clock = Flow.clock t;
-    low;
-    high;
-    domains;
-    n_islands;
-    base = Sta.nominal_delays sta;
-    n_cells = Netlist.cell_count nl;
-    engine;
-    power_of_raised;
-    power_chip_wide;
-    power_baseline;
-  }
+  { ctx; vi; cw; power_of_raised }
 
 let scratch k =
-  let inc = Sta.inc_workspace k.sta in
   {
-    ws = Sta.inc_ws inc;
-    inc;
-    lgates = Array.make k.n_cells 0.0;
-    delays = Array.make k.n_cells 0.0;
+    sc = Compensation.scratch k.ctx;
+    vi_apply = k.vi.Compensation.fresh_apply ();
+    cw_apply = k.cw.Compensation.fresh_apply ();
   }
 
-let n_islands k = k.n_islands
-let clock k = k.clock
+let n_islands k = k.vi.Compensation.max_knob
+let clock k = Compensation.clock k.ctx
 let power_islands_mw k ~raised = k.power_of_raised.(raised)
-let power_chip_wide_mw k = k.power_chip_wide
-let power_baseline_mw k = k.power_baseline
+let power_chip_wide_mw k = Compensation.power_chip_wide_mw k.ctx
+let power_baseline_mw k = Compensation.power_baseline_mw k.ctx
 let die_power_islands_mw k d = k.power_of_raised.(d.die_raised)
 
 let die_power_chip_wide_mw k d =
-  if d.die_meets_uncompensated then k.power_baseline else k.power_chip_wide
+  if d.die_meets_uncompensated then Compensation.power_baseline_mw k.ctx
+  else Compensation.power_chip_wide_mw k.ctx
 
-let systematic k position =
-  Sampler.systematic_lgates k.sampler k.placement position
+let systematic k position = Compensation.systematic k.ctx position
 
-let simulate_die k sc ~systematic rng =
-  (* One random Lgate realisation for this die; every supply
-     configuration below re-times the same realisation. *)
-  Sampler.sample_lgates k.sampler ~systematic rng sc.lgates;
-  let analyze_with vdd =
-    Sampler.scale_delays k.sampler ~base:k.base ~lgates:sc.lgates ~vdd
-      ~out:sc.delays;
-    (* The incremental pass is bit-identical to the full one (default
-       bound 0.), so both engines produce the same die verdicts; the
-       supply reconfigurations of the settle loop are where the cached
-       arrivals pay off (identical re-analyses skip the forward pass
-       entirely, large island cones fall back to one full pass). *)
-    match k.engine with
-    | Monte_carlo.Golden -> Sta.analyze_into k.sta sc.ws ~delays:sc.delays
-    | Monte_carlo.Batched ->
-      Sta.analyze_incremental_into k.sta sc.inc ~delays:sc.delays
-  in
-  let violating_stages () =
-    List.length
-      (List.filter
-         (fun s ->
-           match Sta.ws_stage_delay sc.ws s with
-           | Some d -> d > k.clock +. 1e-12
-           | None -> false)
-         analyzed)
-  in
-  (* This die at nominal supply: which stages fail? *)
-  analyze_with (fun _ -> k.low);
-  let violating = violating_stages () in
-  let worst_low =
-    List.fold_left
-      (fun acc s ->
-        match Sta.ws_stage_delay sc.ws s with
-        | Some d -> Float.max acc d
-        | None -> acc)
-      0.0 analyzed
-  in
-  (* The sensors report the scenario; the controller raises that many
-     islands, then — because Razor keeps monitoring in situ — keeps
-     raising one more while violations persist (closed-loop
-     post-silicon testing). *)
-  let detected = violating in
-  let meets_with raised =
-    if raised = 0 then violating = 0
-    else begin
-      analyze_with (fun cid ->
-          if k.domains.(cid) <= raised then k.high else k.low);
-      violating_stages () = 0
-    end
-  in
-  let rec settle r =
-    if r >= k.n_islands then (k.n_islands, meets_with k.n_islands)
-    else if meets_with r then (r, true)
-    else settle (r + 1)
-  in
-  let raised, meets_compensated = settle (min detected k.n_islands) in
-  analyze_with (fun _ -> k.high);
-  let meets_chip_wide = violating_stages () = 0 in
+let simulate_die k s ~systematic rng =
+  (* Detect once (the die's only RNG consumption), then play both
+     reference strategies on the same Lgate realisation — the exact
+     analysis sequence of the pre-refactor loop, so die records are
+     bit-identical to it under either engine. *)
+  let d = Compensation.detect k.ctx s.sc ~systematic rng in
+  let vi = s.vi_apply s.sc d in
+  let cw = s.cw_apply s.sc d in
   Metrics.incr m_dies;
-  Metrics.add m_raised raised;
+  Metrics.add m_raised vi.Compensation.knob;
   {
-    die_violating = violating;
-    die_detected = detected;
-    die_raised = raised;
-    die_meets_uncompensated = violating = 0;
-    die_meets_compensated = meets_compensated;
-    die_meets_chip_wide = meets_chip_wide;
-    die_worst_low_ns = worst_low;
+    die_violating = d.Compensation.violating;
+    die_detected = d.Compensation.violating;
+    die_raised = vi.Compensation.knob;
+    die_meets_uncompensated = d.Compensation.violating = 0;
+    die_meets_compensated = vi.Compensation.meets;
+    die_meets_chip_wide = cw.Compensation.meets;
+    die_worst_low_ns = d.Compensation.worst_low_ns;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -249,7 +156,9 @@ let run ?(n_chips = 40) ?(seed = 7) (t : Flow.t) (v : Flow.variant) =
     List.fold_left
       (fun acc c ->
         acc
-        +. if c.meets_uncompensated then k.power_baseline else k.power_chip_wide)
+        +.
+        if c.meets_uncompensated then power_baseline_mw k
+        else power_chip_wide_mw k)
       0.0 chips
     /. float_of_int n_chips
   in

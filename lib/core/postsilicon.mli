@@ -20,6 +20,13 @@
     {!scratch}, so dies can be simulated from pool workers in
     parallel.
 
+    Since the strategy refactor the kernel is itself a thin shell over
+    {!Compensation}: detection and both compensation schemes are the
+    [Vi] and [Chipwide] strategies of that interface, applied in
+    sequence — which is how they stay bit-identical to the
+    {!Compare.run} columns racing them against the post-silicon
+    rivals (clock-skew tuning, tunable buffers).
+
     This is an extension beyond the paper's exhibits: it validates the
     closed detect-and-compensate loop the methodology is designed for. *)
 

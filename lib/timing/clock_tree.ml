@@ -4,6 +4,7 @@ module Placement = Pvtol_place.Placement
 
 type t = {
   insertion_delay : (Netlist.cell_id * float) list;
+  offsets : float array;
   skew : float;
   n_buffers : int;
   wirelength : float;
@@ -97,8 +98,15 @@ let synthesize ?(max_leaves = 16) (p : Placement.t) ~flops =
   let delays = List.rev !delays in
   let lo = List.fold_left (fun a (_, d) -> Float.min a d) infinity delays in
   let hi = List.fold_left (fun a (_, d) -> Float.max a d) neg_infinity delays in
+  (* Dense per-cell offset map, normalized to the earliest leaf, built
+     once here: skew lookups in per-die settle loops are O(1) array
+     reads instead of an assoc-list scan (or a per-call hashtable
+     rebuild) over every flop. *)
+  let offsets = Array.make (Netlist.cell_count nl) 0.0 in
+  List.iter (fun (i, d) -> offsets.(i) <- d -. lo) delays;
   {
     insertion_delay = delays;
+    offsets;
     skew = hi -. lo;
     n_buffers = !n_buffers;
     wirelength = !wirelength;
@@ -106,9 +114,6 @@ let synthesize ?(max_leaves = 16) (p : Placement.t) ~flops =
   }
 
 let skew_of t =
-  let lo =
-    List.fold_left (fun a (_, d) -> Float.min a d) infinity t.insertion_delay
-  in
-  let tbl = Hashtbl.create (List.length t.insertion_delay) in
-  List.iter (fun (i, d) -> Hashtbl.replace tbl i (d -. lo)) t.insertion_delay;
-  fun cid -> Option.value (Hashtbl.find_opt tbl cid) ~default:0.0
+  let offsets = t.offsets in
+  let n = Array.length offsets in
+  fun cid -> if cid >= 0 && cid < n then offsets.(cid) else 0.0

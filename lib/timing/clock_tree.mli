@@ -13,6 +13,11 @@ open Pvtol_netlist
 
 type t = {
   insertion_delay : (Netlist.cell_id * float) list;  (** per flop, ns *)
+  offsets : float array;
+      (** dense per-cell clock-arrival offsets (insertion delay minus
+          the earliest leaf's), indexed by cell id; 0 for cells the
+          tree does not serve.  Built once at synthesis so per-die
+          settle loops get O(1) lookups. *)
   skew : float;            (** max - min insertion delay, ns *)
   n_buffers : int;
   wirelength : float;      (** total tree wirelength, um *)
@@ -28,4 +33,6 @@ val synthesize :
 
 val skew_of : t -> (Netlist.cell_id -> float)
 (** Per-flop arrival offset of the clock edge relative to the earliest
-    flop (>= 0), suitable for {!Sta.analyze}'s [skew]. *)
+    flop (>= 0), suitable for {!Sta.analyze}'s [skew].  Backed by the
+    precomputed {!t.offsets} array: each lookup is a bounds check and
+    one array read, safe for hot per-die loops. *)

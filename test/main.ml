@@ -16,6 +16,7 @@ let () =
       Test_core.suite;
       Test_extensions.suite;
       Test_postsilicon.suite;
+      Test_compensation.suite;
       Test_engines.suite;
       Test_properties.suite;
       Test_misc.suite;

@@ -1,0 +1,397 @@
+(* Tests for the pluggable compensation-strategy interface
+   ([Compensation]) and the strategy comparison harness ([Compare]).
+
+   The load-bearing guarantee is differential: the refactored
+   voltage-island and chip-wide strategies must reproduce the
+   pre-refactor physics bit-for-bit — [Compare] on the same grid as a
+   [Wafer] sweep must return identical yields and mean powers, on top
+   of the golden study pins of [Test_postsilicon]. *)
+
+module Flow = Pvtol_core.Flow
+module Island = Pvtol_core.Island
+module Compensation = Pvtol_core.Compensation
+module Compare = Pvtol_core.Compare
+module Postsilicon = Pvtol_core.Postsilicon
+module Wafer = Pvtol_core.Wafer
+module Position = Pvtol_variation.Position
+module Pool = Pvtol_util.Pool
+module Srng = Pvtol_util.Srng
+
+let env = Test_extensions.env
+
+let check_bits what expected got =
+  if expected <> got then
+    Alcotest.failf "%s: expected %h, got %h" what expected got
+
+(* Same grid geometry as the wafer tests, so the memoized sweep is
+   shared and the comparison is apples-to-apples. *)
+let geometry = (3, 2, 5, 1, 7)
+
+let compare_cfg choices =
+  let nx, ny, dies_per_cell, fields, seed = geometry in
+  { Compare.nx; ny; dies_per_cell; fields; seed;
+    direction = Island.Vertical; choices }
+
+let wafer_cfg =
+  let nx, ny, dies_per_cell, fields, seed = geometry in
+  { Wafer.nx; ny; dies_per_cell; fields; seed; direction = Island.Vertical }
+
+let result_of r name =
+  match
+    List.find_opt (fun (s : Compare.strategy_result) -> s.Compare.name = name)
+      r.Compare.results
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "strategy %s missing from report" name
+
+(* --- differential: Compare reproduces the Wafer sweep bit-for-bit --- *)
+
+let test_compare_matches_wafer () =
+  let t, _ = Lazy.force env in
+  let r = Compare.compare t (compare_cfg [ Compensation.Vi; Compensation.Chipwide ]) in
+  let w = Wafer.sweep t wafer_cfg in
+  Alcotest.(check int) "same die population" w.Wafer.dies r.Compare.dies;
+  check_bits "uncompensated yield" w.Wafer.yield_uncompensated
+    r.Compare.yield_uncompensated;
+  let vi = result_of r "vi" and cw = result_of r "chipwide" in
+  check_bits "vi yield = wafer compensated yield" w.Wafer.yield_compensated
+    vi.Compare.yield;
+  check_bits "chipwide yield = wafer chip-wide yield" w.Wafer.yield_chip_wide
+    cw.Compare.yield;
+  (* Mean powers go through the same per-cell Welford + row-major merge
+     as the wafer sweep, over the same per-die values: bit-identical. *)
+  check_bits "vi mean power = wafer islands power"
+    w.Wafer.mean_power_islands_mw vi.Compare.mean_power_mw;
+  check_bits "chipwide mean power = wafer chip-wide power"
+    w.Wafer.mean_power_chip_wide_mw cw.Compare.mean_power_mw;
+  check_bits "vi mean knob = wafer mean raised" w.Wafer.mean_raised
+    vi.Compare.mean_knob
+
+let test_compare_matches_wafer_domains () =
+  (* Same differential at 1, 2 and 4 domains: both sweeps are ordered
+     row-major reductions, so every pool size gives the same report. *)
+  let t, v = Lazy.force env in
+  let with_pool domains f =
+    let p = Pool.create ~domains () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+  in
+  let r1 =
+    with_pool 1 (fun p ->
+        Compare.run ~pool:p t v
+          (compare_cfg [ Compensation.Vi; Compensation.Chipwide ]))
+  in
+  let w = Wafer.sweep t wafer_cfg in
+  check_bits "1-domain vi yield" w.Wafer.yield_compensated
+    (result_of r1 "vi").Compare.yield;
+  List.iter
+    (fun domains ->
+      let r =
+        with_pool domains (fun p -> Compare.run ~pool:p t v (compare_cfg Compensation.all_choices))
+      in
+      let r' =
+        with_pool 1 (fun p -> Compare.run ~pool:p t v (compare_cfg Compensation.all_choices))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "full report identical with %d domains" domains)
+        true (r = r'))
+    [ 2; 4 ]
+
+let test_strategy_isolation () =
+  (* Strategies consume no RNG and share no mutable state: a strategy's
+     column is identical whether it runs alone, with every rival, or in
+     any order. *)
+  let t, v = Lazy.force env in
+  let full = Compare.run t v (compare_cfg Compensation.all_choices) in
+  let reversed =
+    Compare.run t v
+      (compare_cfg
+         [ Compensation.Buffers; Compensation.Skew; Compensation.Chipwide;
+           Compensation.Vi ])
+  in
+  let alone c = Compare.run t v (compare_cfg [ c ]) in
+  List.iter
+    (fun choice ->
+      let name = Compensation.choice_name choice in
+      let f = result_of full name in
+      Alcotest.(check bool)
+        (name ^ ": same result reversed")
+        true
+        (result_of reversed name = f);
+      Alcotest.(check bool)
+        (name ^ ": same result alone")
+        true
+        (result_of (alone choice) name = f))
+    Compensation.all_choices
+
+(* --- strategy properties on a simulated population --- *)
+
+let population () =
+  let t, v = Lazy.force env in
+  let ctx = Compensation.context t in
+  let sc = Compensation.scratch ctx in
+  let strategies =
+    List.map (fun c -> Compensation.build t ctx v c) Compensation.all_choices
+  in
+  let applies =
+    List.map (fun (s : Compensation.strategy) ->
+        (s, s.Compensation.fresh_apply ()))
+      strategies
+  in
+  let dies = ref [] in
+  List.iter
+    (fun pos ->
+      let systematic = Compensation.systematic ctx pos in
+      let rng = Srng.create 11 in
+      for _ = 1 to 6 do
+        let d = Compensation.detect ctx sc ~systematic rng in
+        let outcomes =
+          List.map (fun (s, apply) -> (s, apply sc d)) applies
+        in
+        dies := (d, outcomes) :: !dies
+      done)
+    [ Position.point_a; Position.point_b; Position.point_d;
+      Position.at_xy ~x_frac:0.1 ~y_frac:0.9 () ];
+  (ctx, List.rev !dies)
+
+let test_passing_dies_touch_nothing () =
+  (* Every strategy's knob count is 0 on a passing die — in particular
+     skew tuning never worsens a die that already meets timing. *)
+  let ctx, dies = population () in
+  let baseline = Compensation.power_baseline_mw ctx in
+  let some_passed = ref false in
+  List.iter
+    (fun ((d : Compensation.detect), outcomes) ->
+      if d.Compensation.violating = 0 then begin
+        some_passed := true;
+        List.iter
+          (fun ((s : Compensation.strategy), (o : Compensation.outcome)) ->
+            Alcotest.(check int)
+              (s.Compensation.name ^ ": knob 0 on passing die")
+              0 o.Compensation.knob;
+            Alcotest.(check bool)
+              (s.Compensation.name ^ ": passing die still meets")
+              true o.Compensation.meets;
+            check_bits
+              (s.Compensation.name ^ ": passing die area")
+              0.0 o.Compensation.area_um2;
+            if s.Compensation.name <> "vi" then
+              check_bits
+                (s.Compensation.name ^ ": passing die power is baseline")
+                baseline o.Compensation.power_mw)
+          outcomes
+      end)
+    dies;
+  Alcotest.(check bool) "population exercises passing dies" true !some_passed
+
+let test_knob_bounds_and_meets () =
+  let _, dies = population () in
+  let some_failed = ref false in
+  List.iter
+    (fun ((d : Compensation.detect), outcomes) ->
+      if d.Compensation.violating > 0 then some_failed := true;
+      List.iter
+        (fun ((s : Compensation.strategy), (o : Compensation.outcome)) ->
+          Alcotest.(check bool)
+            (s.Compensation.name ^ ": knob within bounds")
+            true
+            (o.Compensation.knob >= 0
+            && o.Compensation.knob <= s.Compensation.max_knob);
+          if d.Compensation.violating > 0 && o.Compensation.meets then
+            Alcotest.(check bool)
+              (s.Compensation.name ^ ": fixing a failing die uses the knob")
+              true
+              (o.Compensation.knob > 0))
+        outcomes)
+    dies;
+  Alcotest.(check bool) "population exercises failing dies" true !some_failed
+
+let test_cost_monotone_in_knob () =
+  (* Skew and buffer costs are knob-linear by construction: power and
+     area never decrease as more elements are exercised. *)
+  let _, dies = population () in
+  List.iter
+    (fun name ->
+      let outcomes =
+        List.map
+          (fun (_, os) ->
+            snd
+              (List.find
+                 (fun ((s : Compensation.strategy), _) ->
+                   s.Compensation.name = name)
+                 os))
+          dies
+      in
+      let sorted =
+        List.sort
+          (fun (a : Compensation.outcome) b ->
+            Stdlib.compare a.Compensation.knob b.Compensation.knob)
+          outcomes
+      in
+      ignore
+        (List.fold_left
+           (fun ((pk, pp, pa) as prev) (o : Compensation.outcome) ->
+             if o.Compensation.knob = pk then begin
+               check_bits (name ^ ": equal knob, equal power") pp
+                 o.Compensation.power_mw;
+               check_bits (name ^ ": equal knob, equal area") pa
+                 o.Compensation.area_um2;
+               prev
+             end
+             else begin
+               Alcotest.(check bool)
+                 (name ^ ": power monotone in knob")
+                 true
+                 (o.Compensation.power_mw >= pp);
+               Alcotest.(check bool)
+                 (name ^ ": area monotone in knob")
+                 true
+                 (o.Compensation.area_um2 >= pa);
+               (o.Compensation.knob, o.Compensation.power_mw,
+                o.Compensation.area_um2)
+             end)
+           (0, (List.hd sorted).Compensation.power_mw,
+            (List.hd sorted).Compensation.area_um2)
+           sorted))
+    [ "skew"; "buffers" ]
+
+let test_vi_strategy_matches_postsilicon () =
+  (* The island strategy IS the Postsilicon settle loop: replay the
+     same dies through both APIs and diff the records bit-for-bit. *)
+  let t, v = Lazy.force env in
+  let ctx = Compensation.context t in
+  let sc = Compensation.scratch ctx in
+  let vi = Compensation.voltage_islands t ctx v in
+  let cw = Compensation.chip_wide ctx in
+  let vi_apply = vi.Compensation.fresh_apply () in
+  let cw_apply = cw.Compensation.fresh_apply () in
+  let k = Postsilicon.kernel t v in
+  let ksc = Postsilicon.scratch k in
+  List.iter
+    (fun pos ->
+      let systematic = Compensation.systematic ctx pos in
+      let rng_a = Srng.create 19 and rng_b = Srng.create 19 in
+      for _ = 1 to 5 do
+        let d = Compensation.detect ctx sc ~systematic rng_a in
+        let ovi = vi_apply sc d in
+        let ocw = cw_apply sc d in
+        let die = Postsilicon.simulate_die k ksc ~systematic rng_b in
+        Alcotest.(check (triple int int bool))
+          "violating / raised / meets"
+          (die.Postsilicon.die_violating, die.Postsilicon.die_raised,
+           die.Postsilicon.die_meets_compensated)
+          (d.Compensation.violating, ovi.Compensation.knob,
+           ovi.Compensation.meets);
+        Alcotest.(check bool)
+          "chip-wide verdict" die.Postsilicon.die_meets_chip_wide
+          ocw.Compensation.meets;
+        check_bits "worst low delay" die.Postsilicon.die_worst_low_ns
+          d.Compensation.worst_low_ns;
+        check_bits "vi die power" (Postsilicon.die_power_islands_mw k die)
+          ovi.Compensation.power_mw;
+        check_bits "chip-wide die power"
+          (Postsilicon.die_power_chip_wide_mw k die)
+          ocw.Compensation.power_mw
+      done)
+    [ Position.point_a; Position.point_c ]
+
+(* --- harness behaviour --- *)
+
+let test_compare_memoized () =
+  let t, _ = Lazy.force env in
+  let cfg = compare_cfg Compensation.all_choices in
+  let r1 = Compare.compare t cfg in
+  let r2 = Compare.compare t cfg in
+  Alcotest.(check bool) "same report value (memoized stage)" true (r1 == r2);
+  (* A different strategy list is a different stage key. *)
+  let r3 = Compare.compare t (compare_cfg [ Compensation.Vi ]) in
+  Alcotest.(check bool) "different key, different report" true (r3 != r1)
+
+let test_compare_validation () =
+  let t, v = Lazy.force env in
+  let expect_invalid what cfg =
+    try
+      ignore (Compare.run t v cfg);
+      Alcotest.failf "%s: expected Invalid_argument" what
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "empty grid"
+    { (compare_cfg Compensation.all_choices) with Compare.nx = 0 };
+  expect_invalid "no strategies" (compare_cfg []);
+  expect_invalid "duplicate strategy"
+    (compare_cfg [ Compensation.Vi; Compensation.Vi ]);
+  expect_invalid "direction mismatch"
+    { (compare_cfg Compensation.all_choices) with
+      Compare.direction = Island.Horizontal }
+
+let test_choice_names_roundtrip () =
+  List.iter
+    (fun c ->
+      match Compensation.choice_of_name (Compensation.choice_name c) with
+      | Some c' -> Alcotest.(check bool) "roundtrip" true (c = c')
+      | None -> Alcotest.fail "choice name does not parse back")
+    Compensation.all_choices;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Compensation.choice_of_name "razor" = None);
+  Alcotest.(check string) "label order" "vi,chipwide,skew,buffers"
+    (Compensation.choices_label Compensation.all_choices)
+
+let test_report_shapes () =
+  let t, _ = Lazy.force env in
+  let r = Compare.compare t (compare_cfg Compensation.all_choices) in
+  Alcotest.(check int) "one result per strategy" 4 (List.length r.Compare.results);
+  let vi = result_of r "vi" in
+  Alcotest.(check bool) "vi never hurts yield" true
+    (vi.Compare.yield >= r.Compare.yield_uncompensated);
+  List.iter
+    (fun (s : Compare.strategy_result) ->
+      Alcotest.(check bool) (s.Compare.name ^ ": yield in [unc, 1]") true
+        (s.Compare.yield >= r.Compare.yield_uncompensated -. 1e-12
+        && s.Compare.yield <= 1.0 +. 1e-12);
+      Alcotest.(check bool) (s.Compare.name ^ ": power above baseline") true
+        (s.Compare.mean_power_mw >= r.Compare.power_baseline_mw -. 1e-9))
+    r.Compare.results;
+  (* Render and JSON both mention every strategy once. *)
+  let rendered = Compare.render r and json = Compare.to_json r in
+  let count_sub hay needle =
+    let n = String.length needle and h = String.length hay in
+    let c = ref 0 in
+    for i = 0 to h - n do
+      if String.sub hay i n = needle then incr c
+    done;
+    !c
+  in
+  List.iter
+    (fun (s : Compare.strategy_result) ->
+      Alcotest.(check bool) (s.Compare.name ^ " rendered") true
+        (count_sub rendered s.Compare.title = 1);
+      Alcotest.(check int)
+        (s.Compare.name ^ " in json")
+        1
+        (count_sub json (Printf.sprintf "\"name\": \"%s\"" s.Compare.name)))
+    r.Compare.results
+
+let suite =
+  ( "compensation",
+    [
+      Alcotest.test_case "compare = wafer sweep (vi, chipwide)" `Quick
+        test_compare_matches_wafer;
+      Alcotest.test_case "compare domain invariance (1/2/4)" `Quick
+        test_compare_matches_wafer_domains;
+      Alcotest.test_case "strategy isolation (order, subset)" `Quick
+        test_strategy_isolation;
+      Alcotest.test_case "passing dies: knob 0 everywhere" `Quick
+        test_passing_dies_touch_nothing;
+      Alcotest.test_case "knob bounds and meets" `Quick
+        test_knob_bounds_and_meets;
+      Alcotest.test_case "skew/buffer cost monotone in knob" `Quick
+        test_cost_monotone_in_knob;
+      Alcotest.test_case "vi strategy = postsilicon kernel" `Quick
+        test_vi_strategy_matches_postsilicon;
+      Alcotest.test_case "compare memoized per key" `Quick
+        test_compare_memoized;
+      Alcotest.test_case "compare validation" `Quick test_compare_validation;
+      Alcotest.test_case "choice names roundtrip" `Quick
+        test_choice_names_roundtrip;
+      Alcotest.test_case "report shapes (render, json)" `Quick
+        test_report_shapes;
+    ] )

@@ -11,6 +11,8 @@ module Position = Pvtol_variation.Position
 module Netlist = Pvtol_netlist.Netlist
 module Postsilicon = Pvtol_core.Postsilicon
 module Wafer = Pvtol_core.Wafer
+module Compare = Pvtol_core.Compare
+module Compensation = Pvtol_core.Compensation
 module Pool = Pvtol_util.Pool
 module Srng = Pvtol_util.Srng
 
@@ -112,6 +114,32 @@ let test_wafer_engines () =
   Alcotest.(check bool) "cells bit-identical" true (g.Wafer.cells = b.Wafer.cells);
   Alcotest.(check bool) "sweeps bit-identical" true (g = b)
 
+let test_compare_engines () =
+  (* The strategy comparison inherits the engine through the env like
+     the wafer sweep; the shared-scratch strategies use the incremental
+     STA (exact) and the skew/buffer strategies run full passes on
+     private workspaces either way, so whole reports — every strategy's
+     yield, power, knob and area columns — are bit-identical. *)
+  let t, v = Lazy.force flow_env in
+  let cfg =
+    {
+      Compare.nx = 3;
+      ny = 2;
+      dies_per_cell = 4;
+      fields = 1;
+      seed = 7;
+      direction = Pvtol_core.Island.Vertical;
+      choices = Compensation.all_choices;
+    }
+  in
+  let report name =
+    Engine_diff.with_engine_env name (fun () -> Compare.run t v cfg)
+  in
+  let g = report "golden" and b = report "batched" in
+  Alcotest.(check bool) "strategy results bit-identical" true
+    (g.Compare.results = b.Compare.results);
+  Alcotest.(check bool) "reports bit-identical" true (g = b)
+
 let suite =
   ( "engines",
     [
@@ -123,4 +151,6 @@ let suite =
         test_postsilicon_engines;
       Alcotest.test_case "wafer sweep bit-identical across engines" `Quick
         test_wafer_engines;
+      Alcotest.test_case "strategy comparison bit-identical across engines"
+        `Quick test_compare_engines;
     ] )

@@ -133,6 +133,89 @@ let test_disabled_path_allocates_nothing () =
   Alcotest.(check (float 0.0)) "disabled updates allocate zero words" base
     updates
 
+(* The compensation-strategy counters from [Pvtol_core.Compensation]:
+   registered under their catalogue names (re-registration is
+   idempotent, so grabbing handles here observes the library's own),
+   bumped consistently with a strategy-comparison report when enabled,
+   and dropped without allocating when disabled. *)
+let test_compensation_counters () =
+  let module Compare = Pvtol_core.Compare in
+  let applied =
+    List.map
+      (fun name -> (name, Metrics.counter ("compensation_" ^ name ^ "_applied_total")))
+      [ "vi"; "chipwide"; "skew"; "buffers" ]
+  in
+  let skew_flops = Metrics.counter "skew_tuned_flops_total" in
+  let buffers_inserted = Metrics.counter "buffers_inserted_total" in
+  let t, v = Lazy.force Test_extensions.env in
+  let cfg =
+    { Compare.default_config with Compare.nx = 2; ny = 2; dies_per_cell = 3 }
+  in
+  let snapshot () =
+    ( List.map (fun (n, c) -> (n, Metrics.counter_value c)) applied,
+      Metrics.counter_value skew_flops,
+      Metrics.counter_value buffers_inserted )
+  in
+  let before, sf0, bi0 = snapshot () in
+  let r = with_metrics_enabled (fun () -> Compare.run t v cfg) in
+  let result name =
+    List.find (fun s -> s.Compare.name = name) r.Compare.results
+  in
+  (* Applied counters tick at most once per die, only when the strategy
+     actually turned its knob; chip-wide's knob is 0/1 so its applied
+     count equals its knob total exactly. *)
+  List.iter
+    (fun (name, c) ->
+      let delta = Metrics.counter_value c - List.assoc name before in
+      if delta < 0 || delta > r.Compare.dies then
+        Alcotest.failf "%s applied %d times over %d dies" name delta
+          r.Compare.dies;
+      if delta > (result name).Compare.knob_total then
+        Alcotest.failf "%s applied %d times but knob total is %d" name delta
+          (result name).Compare.knob_total)
+    applied;
+  Alcotest.(check int)
+    "chipwide applied count = failing dies"
+    (result "chipwide").Compare.knob_total
+    (Metrics.counter_value (List.assoc "chipwide" applied)
+    - List.assoc "chipwide" before);
+  Alcotest.(check int)
+    "skew_tuned_flops_total tracks the knob total"
+    (result "skew").Compare.knob_total
+    (Metrics.counter_value skew_flops - sf0);
+  Alcotest.(check int)
+    "buffers_inserted_total tracks the knob total"
+    (result "buffers").Compare.knob_total
+    (Metrics.counter_value buffers_inserted - bi0);
+  (* Disabled (the ambient default): the same sweep leaves every
+     counter untouched, and raw updates on these handles ride the
+     zero-allocation fast path like any other counter. *)
+  let enabled = snapshot () in
+  ignore (Compare.run t v cfg);
+  Alcotest.(check bool) "disabled sweep leaves counters untouched" true
+    (snapshot () = enabled);
+  let n = 100_000 in
+  let minor_delta f =
+    let a = (Gc.quick_stat ()).Gc.minor_words in
+    f ();
+    (Gc.quick_stat ()).Gc.minor_words -. a
+  in
+  let base =
+    minor_delta (fun () ->
+        for _ = 1 to n do
+          ignore (Sys.opaque_identity ())
+        done)
+  in
+  let updates =
+    minor_delta (fun () ->
+        for _ = 1 to n do
+          Metrics.incr skew_flops;
+          Metrics.add buffers_inserted 3
+        done)
+  in
+  Alcotest.(check (float 0.0))
+    "disabled compensation updates allocate zero words" base updates
+
 let test_exports () =
   let c = Metrics.counter "test_export_counter" in
   let h = Metrics.histogram "test_export_histo" ~buckets:[| 1.0; 2.0 |] in
@@ -288,6 +371,8 @@ let suite =
         test_deterministic_across_domain_counts;
       Alcotest.test_case "disabled path allocates nothing" `Quick
         test_disabled_path_allocates_nothing;
+      Alcotest.test_case "compensation counters" `Quick
+        test_compensation_counters;
       Alcotest.test_case "json/prometheus/summary exports" `Quick test_exports;
       Alcotest.test_case "log level filtering" `Quick test_log_levels;
       Alcotest.test_case "log level parsing" `Quick test_log_level_of_string;
