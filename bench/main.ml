@@ -42,6 +42,7 @@ module Srng = Pvtol_util.Srng
 module Pool = Pvtol_util.Pool
 module Metrics = Pvtol_util.Metrics
 module MC = Pvtol_ssta.Monte_carlo
+module Smart_sampling = Pvtol_ssta.Smart_sampling
 module Wafer = Pvtol_core.Wafer
 module Compensation = Pvtol_core.Compensation
 
@@ -226,6 +227,81 @@ let print_telemetry_report r =
     (telemetry_overhead_pct r)
 
 (* ------------------------------------------------------------------ *)
+(* Sampling calibration: samples-to-CI-target, mc vs is vs lhs          *)
+
+(* Statistical (not timing) calibration of the variance-reduced
+   estimators on the paper's rare event — P(>= 2 islands violating) at
+   die position B.  Each method runs a pinned budget at a pinned seed
+   (the same budgets the PVTOL_SLOW_TESTS oracle uses, so the numbers
+   agree), and the per-die variance recovered from the report's CI
+   converts into "dies needed for a +-0.1% half-width":
+   [n_target = n * (hw / target)^2].  The section is deterministic run
+   to run — it pins the variance-reduction factor, not a timing. *)
+
+type sampling_line = {
+  sl_method : string;
+  sl_dies : int;
+  sl_rare : float;
+  sl_hw : float;
+  sl_to_target : float;  (* dies needed for hw = sc_target *)
+}
+
+type sampling_calibration = {
+  sc_target : float;
+  sc_lines : sampling_line list;
+  sc_vrf : float;  (* per-die variance ratio, mc / is *)
+}
+
+let sampling_calibration ~quick () =
+  let t = context ~quick () in
+  let pool = Pool.shared () in
+  let target = 0.001 in
+  let run name method_ ~rounds ~seed =
+    let r =
+      Wafer.estimate_at ~pool t ~position:Position.point_b
+        {
+          Wafer.default_sampling_config with
+          Wafer.s_method = method_;
+          s_strata = 4;
+          s_dies_per_round = 25;
+          s_max_rounds = rounds;
+          s_ci_target = 1e-12;
+          s_ci_metric = Wafer.Ci_rare;
+          s_seed = seed;
+        }
+    in
+    let hw = r.Wafer.sr_rare.Wafer.hw in
+    {
+      sl_method = name;
+      sl_dies = r.Wafer.sr_dies;
+      sl_rare = r.Wafer.sr_rare.Wafer.mid;
+      sl_hw = hw;
+      sl_to_target = float_of_int r.Wafer.sr_dies *. (hw /. target) ** 2.0;
+    }
+  in
+  let mc = run "mc" Smart_sampling.Mc ~rounds:50 ~seed:202 in
+  let is = run "is" Smart_sampling.Is ~rounds:15 ~seed:303 in
+  let lhs = run "lhs" Smart_sampling.Lhs ~rounds:50 ~seed:404 in
+  {
+    sc_target = target;
+    sc_lines = [ mc; is; lhs ];
+    sc_vrf = mc.sl_to_target /. is.sl_to_target;
+  }
+
+let print_sampling_calibration s =
+  Printf.printf
+    "\nSampling calibration at position B (rare scenario, +-%.1f%% CI \
+     target):\n%!"
+    (100.0 *. s.sc_target);
+  List.iter
+    (fun l ->
+      Printf.printf
+        "  %-4s %6d dies   P=%.5f +- %.5f   -> %9.0f dies to target\n%!"
+        l.sl_method l.sl_dies l.sl_rare l.sl_hw l.sl_to_target)
+    s.sc_lines;
+  Printf.printf "  variance reduction (is vs mc): %.2fx\n%!" s.sc_vrf
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel kernels                                                     *)
 
 (* MC-related kernels carry [per_run > 1]: one staged run covers a full
@@ -234,7 +310,7 @@ let print_telemetry_report r =
    directly. *)
 let mc_kernel_names =
   [
-    "fig3/mc-sample"; "fig3/mc-sample-batched";
+    "fig3/mc-sample"; "fig3/mc-sample-batched"; "fig3/mc-sample-is";
     "table1/sta-pass-into"; "table1/sta-batch-into";
   ]
 
@@ -264,6 +340,19 @@ let kernel_estimates ~quick ?(only = fun _ -> true) () =
   let gauss = Array.make (lanes * n) 0.0 in
   let brng = Srng.create 99 in
   let batch = Sampler.batch sampler ~base ~systematic ~vdd:(fun _ -> low) in
+  (* Importance-sampled die at position B: the full per-die overhead of
+     the smart-sampling layer — component pick, RNG replay for the
+     likelihood ratio, tilted systematic field — on top of the plain
+     fig3/mc-sample path, so the two lines diff to the IS tax. *)
+  let systematic_b = Sampler.systematic_lgates sampler placement Position.point_b in
+  let is_model =
+    Smart_sampling.make
+      (Smart_sampling.tilts ~sampler ~sta ~base ~systematic:systematic_b
+         ~vdd:low ~clock:(Flow.clock t) ~stages:Compensation.analyzed ~rare:2 ())
+  in
+  let is_rng = Srng.create 99 in
+  let is_z = Array.make n 0.0 in
+  let is_sys = Array.make n 0.0 in
   (* Compensation-strategy kernels: one failing die is drawn up-front
      at the worst corner (retrying a few draws so the knobs have
      violations to chase), then each kernel re-applies its strategy to
@@ -327,6 +416,26 @@ let kernel_estimates ~quick ?(only = fun _ -> true) () =
           Sampler.scale_delays_batch batch ~gauss ~samples:lanes ~stride
             ~out:(Sta.batch_delays bw);
           Sta.analyze_batch_into sta bw ~lanes );
+      ( "fig3/mc-sample-is", 1,
+        fun () ->
+          let comp = Smart_sampling.pick is_model is_rng in
+          let probe = Srng.copy is_rng in
+          Srng.fill_gaussians probe is_z ~pos:0 ~len:n;
+          let w = Smart_sampling.weight is_model ~comp ~z:is_z in
+          let sys =
+            match Smart_sampling.shift is_model ~comp with
+            | Either.Right () -> systematic_b
+            | Either.Left tl ->
+              Sampler.shifted_systematic sampler ~systematic:systematic_b
+                ~cells:tl.Smart_sampling.cells ~dir:tl.Smart_sampling.dir
+                ~theta:tl.Smart_sampling.theta ~out:is_sys;
+              is_sys
+          in
+          Sampler.sample_lgates sampler ~systematic:sys is_rng lgates;
+          Sampler.scale_delays sampler ~base ~lgates ~vdd:(fun _ -> low)
+            ~out:delays;
+          Sta.analyze_into sta ws ~delays;
+          ignore w );
       ( "fig4/corner-check", 1,
         fun () ->
           for i = 0 to n - 1 do
@@ -418,7 +527,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~file rows mc wf tel =
+let write_json ~file rows mc wf tel smp =
   let oc = open_out file in
   output_string oc "{\n  \"kernels_ns_per_run\": {\n";
   let n = List.length rows in
@@ -459,6 +568,21 @@ let write_json ~file rows mc wf tel =
     \  },\n"
     tel.tel_samples tel.tel_disabled_sps tel.tel_enabled_sps
     (telemetry_overhead_pct tel);
+  output_string oc "  \"sampling\": {\n";
+  Printf.fprintf oc
+    "    \"position\": \"B\",\n\
+    \    \"rare_scenario\": 2,\n\
+    \    \"ci_target\": %g,\n"
+    smp.sc_target;
+  List.iter
+    (fun l ->
+      (* Always a trailing comma: the vrf line closes the object. *)
+      Printf.fprintf oc
+        "    \"%s\": { \"dies\": %d, \"rare\": %.6f, \"ci_halfwidth\": \
+         %.6f, \"dies_to_target\": %.0f },\n"
+        l.sl_method l.sl_dies l.sl_rare l.sl_hw l.sl_to_target)
+    smp.sc_lines;
+  Printf.fprintf oc "    \"vrf_is_over_mc\": %.3f\n  },\n" smp.sc_vrf;
   Printf.fprintf oc "  \"mc_engine_speedup\": %s\n}\n"
     (match mc_engine_speedup rows with
     | Some s -> Printf.sprintf "%.3f" s
@@ -492,7 +616,9 @@ let kernels ~quick ~json () =
   print_wafer_report wf;
   let tel = telemetry_throughput ~quick () in
   print_telemetry_report tel;
-  if json then write_json ~file:"BENCH_ssta.json" rows mc wf tel
+  let smp = sampling_calibration ~quick () in
+  print_sampling_calibration smp;
+  if json then write_json ~file:"BENCH_ssta.json" rows mc wf tel smp
 
 (* Just the golden-vs-batched comparison: the four per-sample MC
    kernels and their ratio ([make bench-mc]). *)

@@ -235,10 +235,104 @@ let wafer_cmd =
     in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
+  let sampler =
+    let doc =
+      "Switch from the fixed-budget census sweep to the adaptive \
+       estimator with this sampling method: $(b,mc) (i.i.d. positions), \
+       $(b,lhs) (Latin-hypercube strata) or $(b,is) (importance \
+       sampling toward the rare-scenario boundary).  $(b,--dies) then \
+       sets the dies per stratum per round and $(b,--grid)/$(b,--fields) \
+       are ignored."
+    in
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("mc", Pvtol_ssta.Smart_sampling.Mc);
+                  ("is", Pvtol_ssta.Smart_sampling.Is);
+                  ("lhs", Pvtol_ssta.Smart_sampling.Lhs) ]))
+          None
+      & info [ "sampler" ] ~doc ~docv:"mc|is|lhs")
+  in
+  let ci_target =
+    let doc =
+      "Stop sampling when the watched metric's CI half-width reaches \
+       $(docv) (absolute, e.g. 0.001 = +-0.1%)."
+    in
+    Arg.(value & opt float 0.001 & info [ "ci-target" ] ~doc ~docv:"EPS")
+  in
+  let ci_metric =
+    let doc =
+      "Metric the stopping rule watches: $(b,yield) (uncompensated \
+       timing yield) or $(b,rare) (the rare-scenario probability)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("yield", Wafer.Ci_yield); ("rare", Wafer.Ci_rare) ])
+          Wafer.Ci_yield
+      & info [ "ci-metric" ] ~doc ~docv:"yield|rare")
+  in
+  let rare_scenario =
+    let doc =
+      "The rare scenario: a die with at least $(docv) islands violating \
+       before compensation."
+    in
+    Arg.(value & opt int 2 & info [ "rare-scenario" ] ~doc ~docv:"M")
+  in
+  let strata =
+    let doc = "Position strata per axis for the $(b,is)/$(b,lhs) samplers." in
+    Arg.(value & opt int 4 & info [ "strata" ] ~doc ~docv:"S")
+  in
+  let rounds =
+    let doc = "Maximum sampling rounds before giving up on the CI target." in
+    Arg.(value & opt int 64 & info [ "rounds" ] ~doc ~docv:"N")
+  in
   let run quick samples seed trace trace_out metrics_out trace_chrome (nx, ny)
-      dies_per_cell fields wafer_seed direction json_file progress =
+      dies_per_cell fields wafer_seed direction json_file progress sampler
+      ci_target ci_metric rare_scenario strata rounds =
     with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
       ~trace_chrome (fun t ->
+        match sampler with
+        | Some s_method ->
+          let scfg =
+            {
+              Wafer.s_method;
+              s_strata = strata;
+              s_dies_per_round = dies_per_cell;
+              s_max_rounds = rounds;
+              s_ci_target = ci_target;
+              s_ci_metric = ci_metric;
+              s_rare = rare_scenario;
+              s_confidence = 0.95;
+              s_seed = wafer_seed;
+              s_direction = direction;
+            }
+          in
+          let on_round =
+            if not progress then None
+            else
+              Some
+                (fun ~round ~max_rounds ~ci_halfwidth ->
+                  Printf.eprintf "\rsampling: round %d/%d, CI half-width %.5f%s"
+                    round max_rounds ci_halfwidth
+                    (if
+                       round = max_rounds
+                       || ci_halfwidth <= scfg.Wafer.s_ci_target
+                     then "\n"
+                     else "");
+                  flush stderr)
+          in
+          let r = Wafer.estimate ?on_round t scfg in
+          Format.printf "%a@." Wafer.pp_sampling r;
+          (match json_file with
+          | None -> ()
+          | Some file ->
+            let oc = open_out file in
+            output_string oc (Wafer.sampling_to_json r);
+            close_out oc;
+            Printf.printf "\nsampling report written to %s\n" file)
+        | None ->
         let cfg =
           { Wafer.nx; ny; dies_per_cell; fields; seed = wafer_seed; direction }
         in
@@ -292,7 +386,8 @@ let wafer_cmd =
     Term.(
       const run $ quick $ samples $ seed $ trace_flag $ trace_out
       $ metrics_out $ trace_chrome $ grid $ dies $ fields $ wafer_seed
-      $ direction $ json_file $ progress)
+      $ direction $ json_file $ progress $ sampler $ ci_target $ ci_metric
+      $ rare_scenario $ strata $ rounds)
 
 (* ------------------------------------------------------------------ *)
 (* Strategy comparison                                                  *)

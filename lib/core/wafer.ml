@@ -12,10 +12,14 @@ module Welford = Stream_stats.Welford
 module P2 = Stream_stats.P2
 module Counter = Stream_stats.Counter
 module Position = Pvtol_variation.Position
+module Sampler = Pvtol_variation.Sampler
 module Metrics = Pvtol_util.Metrics
+module Monte_carlo = Pvtol_ssta.Monte_carlo
+module Smart_sampling = Pvtol_ssta.Smart_sampling
 
 let m_cells = Metrics.counter "wafer_cells_total"
 let m_wafer_dies = Metrics.counter "wafer_dies_total"
+let m_sampling_dies = Metrics.counter "wafer_sampling_dies_total"
 
 type config = {
   nx : int;
@@ -74,11 +78,10 @@ let grid_frac n i =
 let cell_position cfg ~ix ~iy =
   Position.at_xy ~x_frac:(grid_frac cfg.nx ix) ~y_frac:(grid_frac cfg.ny iy) ()
 
-(* Boost-style hash combine on the positive int range: every cell's RNG
-   stream depends only on (seed, field, ix, iy), never on traversal
-   order or domain count. *)
-let mix h k = (h lxor (k + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land max_int
-let cell_seed cfg ~field ~ix ~iy = mix (mix (mix cfg.seed field) iy) ix
+(* Every cell's RNG stream depends only on (seed, field, ix, iy), never
+   on traversal order or domain count. *)
+let cell_seed cfg ~field ~ix ~iy =
+  Monte_carlo.substream_seed cfg.seed [ field; iy; ix ]
 
 (* ------------------------------------------------------------------ *)
 (* Streaming per-cell accumulator                                       *)
@@ -433,5 +436,481 @@ let to_json s =
         (json_float c.delay_p90_ns)
         (if i < Array.length s.cells - 1 then "," else ""))
     s.cells;
+  add "  ]\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Variance-reduced sampling estimator                                  *)
+
+(* The sweep above is a census: a fixed die budget at fixed grid
+   positions.  The estimator below answers the converse question — how
+   many dies buy a given confidence — by sampling die positions over
+   the exposure field (the estimand is the continuous wafer mean, not a
+   grid average), reweighting tail-chasing tilted draws, and stopping
+   when the designated metric's CI is tight enough. *)
+
+type ci_metric = Ci_yield | Ci_rare
+
+let ci_metric_name = function Ci_yield -> "yield" | Ci_rare -> "rare"
+
+let ci_metric_of_string = function
+  | "yield" -> Some Ci_yield
+  | "rare" -> Some Ci_rare
+  | _ -> None
+
+type sampling_config = {
+  s_method : Smart_sampling.method_;
+  s_strata : int;
+  s_dies_per_round : int;
+  s_max_rounds : int;
+  s_ci_target : float;
+  s_ci_metric : ci_metric;
+  s_rare : int;
+  s_confidence : float;
+  s_seed : int;
+  s_direction : Island.direction;
+}
+
+let default_sampling_config =
+  {
+    s_method = Smart_sampling.Mc;
+    s_strata = 4;
+    s_dies_per_round = 16;
+    s_max_rounds = 64;
+    s_ci_target = 0.001;
+    s_ci_metric = Ci_yield;
+    s_rare = 2;
+    s_confidence = 0.95;
+    s_seed = 7;
+    s_direction = Island.Vertical;
+  }
+
+type interval = { mid : float; hw : float }
+
+type sampling_group = {
+  sg_ix : int;
+  sg_iy : int;
+  sg_dies : int;
+  sg_components : int;
+  sg_yield_uncompensated : float;
+  sg_rare : float;
+  sg_mean_weight : float;
+  sg_effective_samples : float;
+}
+
+type sampling_report = {
+  sr_config : sampling_config;
+  sr_position : Position.t option;
+  sr_clock_ns : float;
+  sr_rounds : int;
+  sr_converged : bool;
+  sr_dies : int;
+  sr_estimate : float;
+  sr_ci_halfwidth : float;
+  sr_effective_samples : float;
+  sr_yield_uncompensated : interval;
+  sr_yield_compensated : interval;
+  sr_yield_chip_wide : interval;
+  sr_rare : interval;
+  sr_groups : sampling_group array;
+}
+
+(* Per-die metric vector: [0] uncompensated yield, [1] compensated
+   yield, [2] chip-wide yield, [3] the rare scenario (>= s_rare islands
+   violating before compensation).  Each is accumulated as the plain
+   Welford stream of w * y — an importance-sampling estimate and its
+   variance need nothing beyond the transformed values. *)
+let n_sampling_metrics = 4
+
+let designated_metric = function Ci_yield -> 0 | Ci_rare -> 3
+
+let die_values ~rare (d : Postsilicon.die) out =
+  out.(0) <- (if d.Postsilicon.die_meets_uncompensated then 1.0 else 0.0);
+  out.(1) <- (if d.Postsilicon.die_meets_compensated then 1.0 else 0.0);
+  out.(2) <- (if d.Postsilicon.die_meets_chip_wide then 1.0 else 0.0);
+  out.(3) <- (if d.Postsilicon.die_violating >= rare then 1.0 else 0.0)
+
+type gacc = {
+  ga_metrics : Welford.t array;
+  ga_weight : Welford.t;
+  mutable ga_dies : int;
+}
+
+let gacc_create () =
+  {
+    ga_metrics = Array.init n_sampling_metrics (fun _ -> Welford.create ());
+    ga_weight = Welford.create ();
+    ga_dies = 0;
+  }
+
+type site_mode = Wafer_field | Fixed_site of Position.t
+
+let run_sampling ?pool ?on_round (t : Flow.t) (v : Flow.variant) ~mode scfg =
+  if scfg.s_strata <= 0 || scfg.s_dies_per_round <= 0 || scfg.s_max_rounds <= 0
+  then
+    invalid_arg "Wafer.estimate: strata, dies and rounds must be positive";
+  if not (scfg.s_ci_target > 0.0) then
+    invalid_arg "Wafer.estimate: ci target must be positive";
+  if scfg.s_rare <= 0 then invalid_arg "Wafer.estimate: rare must be positive";
+  if v.Flow.direction <> scfg.s_direction then
+    invalid_arg "Wafer.estimate: variant direction does not match the config";
+  let k = Postsilicon.kernel t v in
+  let sampler = Flow.sampler t in
+  let sta = Flow.sta t in
+  let nl = Flow.netlist t in
+  let n = Pvtol_netlist.Netlist.cell_count nl in
+  let clock = Postsilicon.clock k in
+  let low =
+    nl.Pvtol_netlist.Netlist.lib.Pvtol_stdcell.Cell.process
+      .Pvtol_stdcell.Process.vdd_low
+  in
+  let base = Pvtol_timing.Sta.nominal_delays sta in
+  let pool = match pool with Some p -> p | None -> Pool.shared () in
+  (* Fixed-site runs keep the stratum grid as independent parallel
+     substreams of the same position — the stratified estimate over
+     identically-distributed groups is the plain pooled estimate, and
+     the oracle's long brute-force runs get the pool's full width. *)
+  let s = scfg.s_strata in
+  let groups = s * s in
+  let q = scfg.s_dies_per_round in
+  let sf = float_of_int s and qf = float_of_int q in
+  let group_pos g =
+    match mode with
+    | Fixed_site p -> p
+    | Wafer_field ->
+      let gx = g mod s and gy = g / s in
+      Position.at_xy
+        ~x_frac:((float_of_int gx +. 0.5) /. sf)
+        ~y_frac:((float_of_int gy +. 0.5) /. sf)
+        ()
+  in
+  (* IS builds one mixture per stratum at its center position; the
+     tilt is a z-space object, so the within-stratum position jitter
+     does not disturb its exactness.  mc / lhs sample untilted. *)
+  let model_at pos =
+    let systematic = Postsilicon.systematic k pos in
+    Smart_sampling.make
+      (Smart_sampling.tilts ~sampler ~sta ~base ~systematic ~vdd:low ~clock
+         ~stages:Compensation.analyzed ~rare:scfg.s_rare ())
+  in
+  let models =
+    match (scfg.s_method, mode) with
+    | Smart_sampling.Is, Fixed_site p ->
+      (* One position, one mixture — shared by every substream. *)
+      Array.make groups (model_at p)
+    | Smart_sampling.Is, Wafer_field ->
+      Pool.parallel_chunks pool ~chunks:groups
+        ~init:(fun ~worker:_ -> ())
+        ~f:(fun () g -> model_at (group_pos g))
+    | (Smart_sampling.Mc | Smart_sampling.Lhs), _ ->
+      Array.make groups Smart_sampling.plain
+  in
+  let gaccs = Array.init groups (fun _ -> gacc_create ()) in
+  let pi_g = 1.0 /. float_of_int groups in
+  let combine m =
+    let mid, hw =
+      Smart_sampling.combine ~confidence:scfg.s_confidence
+        (Array.map (fun ga -> (pi_g, ga.ga_metrics.(m))) gaccs)
+    in
+    { mid; hw }
+  in
+  let rounds = ref 0 and converged = ref false in
+  while (not !converged) && !rounds < scfg.s_max_rounds do
+    let round = !rounds in
+    (* One pool chunk per stratum; each stratum's round is a fresh RNG
+       substream keyed by (seed, round, gy, gx), its dies run serially
+       inside the chunk, and the per-round accumulators are merged into
+       the persistent ones in stratum order — bit-identical for every
+       domain count and schedule, like the census sweep above. *)
+    let round_accs =
+      Pool.parallel_chunks pool ~chunks:groups
+        ~init:(fun ~worker:_ ->
+          ( Postsilicon.scratch k,
+            Array.make n 0.0,
+            Array.make n 0.0,
+            Array.make n_sampling_metrics 0.0 ))
+        ~f:(fun (sc, zbuf, sysbuf, vbuf) g ->
+          let gx = g mod s and gy = g / s in
+          let model = models.(g) in
+          let rng =
+            Srng.create
+              (Monte_carlo.substream_seed scfg.s_seed [ round; gy; gx ])
+          in
+          let acc = gacc_create () in
+          (* Per-die stream layout is fixed per method: lhs prefixes
+             the round with its two axis permutations, is prefixes each
+             die with its component pick, and every die consumes two
+             jitter uniforms and exactly [n] gaussians. *)
+          let px, py =
+            match scfg.s_method with
+            | Smart_sampling.Lhs -> Smart_sampling.lhs_permutations rng q
+            | Smart_sampling.Mc | Smart_sampling.Is -> ([||], [||])
+          in
+          for r = 0 to q - 1 do
+            let comp =
+              match scfg.s_method with
+              | Smart_sampling.Is -> Smart_sampling.pick model rng
+              | Smart_sampling.Mc | Smart_sampling.Lhs -> -1
+            in
+            let ux = Srng.uniform rng in
+            let uy = Srng.uniform rng in
+            let pos =
+              match mode with
+              | Fixed_site p -> p
+              | Wafer_field ->
+                let fx, fy =
+                  match scfg.s_method with
+                  (* mc: i.i.d. uniform over the field — the strata are
+                     only independent substreams of one plain sample *)
+                  | Smart_sampling.Mc -> (ux, uy)
+                  | Smart_sampling.Is ->
+                    ( (float_of_int gx +. ux) /. sf,
+                      (float_of_int gy +. uy) /. sf )
+                  | Smart_sampling.Lhs ->
+                    ( (float_of_int gx
+                      +. ((float_of_int px.(r) +. ux) /. qf))
+                      /. sf,
+                      (float_of_int gy
+                      +. ((float_of_int py.(r) +. uy) /. qf))
+                      /. sf )
+                in
+                Position.at_xy ~x_frac:fx ~y_frac:fy ()
+            in
+            let systematic = Postsilicon.systematic k pos in
+            let w, sys_used =
+              if Smart_sampling.n_components model = 0 then (1.0, systematic)
+              else begin
+                (* Draw-ahead replay: observe the raw gaussians the die
+                   kernel is about to consume, price the balance-
+                   heuristic weight on them, then realise the tilt as a
+                   shifted systematic field through the unchanged
+                   kernel. *)
+                let pre = Srng.copy rng in
+                Srng.fill_gaussians pre zbuf ~pos:0 ~len:n;
+                let w = Smart_sampling.weight model ~comp ~z:zbuf in
+                match Smart_sampling.shift model ~comp with
+                | Either.Right () -> (w, systematic)
+                | Either.Left tilt ->
+                  Sampler.shifted_systematic sampler ~systematic
+                    ~cells:tilt.Smart_sampling.cells
+                    ~dir:tilt.Smart_sampling.dir
+                    ~theta:tilt.Smart_sampling.theta ~out:sysbuf;
+                  (w, sysbuf)
+              end
+            in
+            let d = Postsilicon.simulate_die k sc ~systematic:sys_used rng in
+            die_values ~rare:scfg.s_rare d vbuf;
+            for m = 0 to n_sampling_metrics - 1 do
+              Welford.add acc.ga_metrics.(m) (w *. vbuf.(m))
+            done;
+            Welford.add acc.ga_weight w;
+            acc.ga_dies <- acc.ga_dies + 1
+          done;
+          Metrics.add m_sampling_dies acc.ga_dies;
+          acc)
+    in
+    Array.iteri
+      (fun g racc ->
+        let ga = gaccs.(g) in
+        for m = 0 to n_sampling_metrics - 1 do
+          Welford.merge ~into:ga.ga_metrics.(m) racc.ga_metrics.(m)
+        done;
+        Welford.merge ~into:ga.ga_weight racc.ga_weight;
+        ga.ga_dies <- ga.ga_dies + racc.ga_dies)
+      round_accs;
+    incr rounds;
+    let hw = (combine (designated_metric scfg.s_ci_metric)).hw in
+    (* A zero half-width means every die agreed — for indicator metrics
+       that is evidence of sample starvation (a binomial with zero
+       observed successes is not certain), not of convergence, so the
+       rule demands a strictly positive variance estimate. *)
+    if hw > 0.0 && hw <= scfg.s_ci_target then converged := true;
+    match on_round with
+    | None -> ()
+    | Some f -> (
+      try f ~round:!rounds ~max_rounds:scfg.s_max_rounds ~ci_halfwidth:hw
+      with _ -> ())
+  done;
+  let designated = combine (designated_metric scfg.s_ci_metric) in
+  {
+    sr_config = scfg;
+    sr_position = (match mode with Fixed_site p -> Some p | Wafer_field -> None);
+    sr_clock_ns = clock;
+    sr_rounds = !rounds;
+    sr_converged = !converged;
+    sr_dies = Array.fold_left (fun a ga -> a + ga.ga_dies) 0 gaccs;
+    sr_estimate = designated.mid;
+    sr_ci_halfwidth = designated.hw;
+    sr_effective_samples =
+      Array.fold_left
+        (fun a ga -> a +. Smart_sampling.effective_samples ga.ga_weight)
+        0.0 gaccs;
+    sr_yield_uncompensated = combine 0;
+    sr_yield_compensated = combine 1;
+    sr_yield_chip_wide = combine 2;
+    sr_rare = combine 3;
+    sr_groups =
+      Array.mapi
+        (fun g ga ->
+          {
+            sg_ix = g mod s;
+            sg_iy = g / s;
+            sg_dies = ga.ga_dies;
+            sg_components = Smart_sampling.n_components models.(g);
+            sg_yield_uncompensated = Welford.mean ga.ga_metrics.(0);
+            sg_rare = Welford.mean ga.ga_metrics.(3);
+            sg_mean_weight = Welford.mean ga.ga_weight;
+            sg_effective_samples =
+              Smart_sampling.effective_samples ga.ga_weight;
+          })
+        gaccs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sampling stage-graph exposure                                        *)
+
+let sampling_config_label c =
+  Printf.sprintf "%s-%dx%d-d%d-r%d-ci%g-%s-m%d-c%g-s%d-%s"
+    (Smart_sampling.method_name c.s_method)
+    c.s_strata c.s_strata c.s_dies_per_round c.s_max_rounds c.s_ci_target
+    (ci_metric_name c.s_ci_metric)
+    c.s_rare c.s_confidence c.s_seed
+    (Island.direction_name c.s_direction)
+
+type on_round = round:int -> max_rounds:int -> ci_halfwidth:float -> unit
+
+let sampling_families_mu = Mutex.create ()
+
+let sampling_families :
+    (Sg.graph
+    * ((sampling_config, sampling_report) Sg.keyed * on_round option ref))
+    list
+    ref =
+  ref []
+
+let sampling_family (t : Flow.t) :
+    (sampling_config, sampling_report) Sg.keyed * on_round option ref =
+  let g = Flow.graph t in
+  Mutex.lock sampling_families_mu;
+  let f =
+    match List.find_opt (fun (g', _) -> g' == g) !sampling_families with
+    | Some (_, f) -> f
+    | None ->
+      let cbref = ref None in
+      let f =
+        Sg.keyed g ~name:"sampling"
+          ~deps:(fun cfg ->
+            [ "sta"; "placed"; "sampler"; "clock";
+              "shifters[" ^ Island.direction_name cfg.s_direction ^ "]" ])
+          ~key_label:sampling_config_label
+          (fun cfg ->
+            run_sampling ?on_round:!cbref t
+              (Flow.variant t cfg.s_direction)
+              ~mode:Wafer_field cfg)
+      in
+      sampling_families := (g, (f, cbref)) :: !sampling_families;
+      (f, cbref)
+  in
+  Mutex.unlock sampling_families_mu;
+  f
+
+let estimate_run ?pool ?on_round t cfg =
+  run_sampling ?pool ?on_round t (Flow.variant t cfg.s_direction)
+    ~mode:Wafer_field cfg
+
+let estimate ?on_round t cfg =
+  let f, cbref = sampling_family t in
+  match on_round with
+  | None -> Sg.get_keyed f cfg
+  | Some _ ->
+    cbref := on_round;
+    Fun.protect
+      ~finally:(fun () -> cbref := None)
+      (fun () -> Sg.get_keyed f cfg)
+
+let estimate_at ?pool ?on_round t ~position cfg =
+  run_sampling ?pool ?on_round t
+    (Flow.variant t cfg.s_direction)
+    ~mode:(Fixed_site position) cfg
+
+(* ------------------------------------------------------------------ *)
+(* Sampling report rendering                                            *)
+
+let pp_interval fmt { mid; hw } =
+  if Float.is_finite hw then
+    Format.fprintf fmt "%.4f%% +- %.4f%%" (100.0 *. mid) (100.0 *. hw)
+  else Format.fprintf fmt "%.4f%% +- inf" (100.0 *. mid)
+
+let pp_sampling fmt r =
+  let c = r.sr_config in
+  Format.fprintf fmt
+    "%s estimator: %dx%d strata x %d dies/round, %d round(s) of max %d \
+     (%s)@.\
+    \  target: %s CI half-width <= %.4f%% at %.0f%% confidence@.\
+    \  dies: %d  effective samples: %.1f@.\
+    \  yield:  uncompensated %a   islands %a   chip-wide %a@.\
+    \  P(>=%d islands violating): %a@."
+    (Smart_sampling.method_name c.s_method)
+    (match r.sr_position with Some _ -> 1 | None -> c.s_strata)
+    (match r.sr_position with Some _ -> 1 | None -> c.s_strata)
+    c.s_dies_per_round r.sr_rounds c.s_max_rounds
+    (if r.sr_converged then "converged" else "round budget exhausted")
+    (ci_metric_name c.s_ci_metric)
+    (100.0 *. c.s_ci_target)
+    (100.0 *. c.s_confidence)
+    r.sr_dies r.sr_effective_samples pp_interval r.sr_yield_uncompensated
+    pp_interval r.sr_yield_compensated pp_interval r.sr_yield_chip_wide
+    c.s_rare pp_interval r.sr_rare
+
+let sampling_to_json r =
+  let c = r.sr_config in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let interval_json { mid; hw } =
+    Printf.sprintf "{ \"mean\": %s, \"ci_halfwidth\": %s }" (json_float mid)
+      (json_float hw)
+  in
+  add "{\n";
+  add "  \"sampler\": \"%s\",\n" (Smart_sampling.method_name c.s_method);
+  add "  \"strata\": %d,\n" c.s_strata;
+  add "  \"dies_per_round\": %d,\n" c.s_dies_per_round;
+  add "  \"max_rounds\": %d,\n" c.s_max_rounds;
+  add "  \"ci_target\": %s,\n" (json_float c.s_ci_target);
+  add "  \"ci_metric\": \"%s\",\n" (ci_metric_name c.s_ci_metric);
+  add "  \"rare_scenario\": %d,\n" c.s_rare;
+  add "  \"confidence\": %s,\n" (json_float c.s_confidence);
+  add "  \"seed\": %d,\n" c.s_seed;
+  add "  \"direction\": \"%s\",\n" (Island.direction_name c.s_direction);
+  (match r.sr_position with
+  | None -> ()
+  | Some p ->
+    add "  \"position\": { \"x_frac\": %s, \"y_frac\": %s },\n"
+      (json_float (Position.x_frac p))
+      (json_float (Position.y_frac p)));
+  add "  \"clock_ns\": %s,\n" (json_float r.sr_clock_ns);
+  add "  \"rounds\": %d,\n" r.sr_rounds;
+  add "  \"converged\": %b,\n" r.sr_converged;
+  add "  \"dies\": %d,\n" r.sr_dies;
+  add "  \"estimate\": %s,\n" (json_float r.sr_estimate);
+  add "  \"ci_halfwidth\": %s,\n" (json_float r.sr_ci_halfwidth);
+  add "  \"effective_samples\": %s,\n" (json_float r.sr_effective_samples);
+  add "  \"yield_uncompensated\": %s,\n" (interval_json r.sr_yield_uncompensated);
+  add "  \"yield_compensated\": %s,\n" (interval_json r.sr_yield_compensated);
+  add "  \"yield_chip_wide\": %s,\n" (interval_json r.sr_yield_chip_wide);
+  add "  \"rare\": %s,\n" (interval_json r.sr_rare);
+  add "  \"groups\": [\n";
+  Array.iteri
+    (fun i g ->
+      add
+        "    { \"ix\": %d, \"iy\": %d, \"dies\": %d, \"components\": %d, \
+         \"yield_uncompensated\": %s, \"rare\": %s, \"mean_weight\": %s, \
+         \"effective_samples\": %s }%s\n"
+        g.sg_ix g.sg_iy g.sg_dies g.sg_components
+        (json_float g.sg_yield_uncompensated)
+        (json_float g.sg_rare)
+        (json_float g.sg_mean_weight)
+        (json_float g.sg_effective_samples)
+        (if i < Array.length r.sr_groups - 1 then "," else ""))
+    r.sr_groups;
   add "  ]\n}\n";
   Buffer.contents buf

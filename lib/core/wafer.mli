@@ -96,6 +96,131 @@ val sweep :
     stage.  [on_cell] only streams on the force that actually computes;
     a memoized hit returns at once with no progress to report. *)
 
+(** {2 Variance-reduced sampling estimator}
+
+    {!run} is a census: a fixed die budget at fixed grid positions.
+    The estimator below instead samples die positions over the exposure
+    field — the estimand is the {e continuous} wafer mean — with a
+    choice of {!Pvtol_ssta.Smart_sampling.method_}:
+
+    - [Mc]: i.i.d. uniform positions, unit weights (the baseline);
+    - [Lhs]: stratified positions with Latin-hypercube sub-jitter, so
+      position-driven variance is removed stratum by stratum;
+    - [Is]: stratified positions plus a per-stratum importance-sampling
+      mixture tilted toward the rare-scenario boundary, with exact
+      balance-heuristic reweighting — the tail-event workhorse.
+
+    Rounds are drawn until the designated metric's confidence interval
+    half-width reaches the target (or the round budget runs out).  A
+    zero half-width never satisfies the rule: for indicator metrics an
+    all-constant sample is evidence of starvation, not certainty.
+    Every stratum round is an independent RNG substream keyed by
+    [(seed, round, stratum)], rounds are merged in stratum order, and
+    the per-die kernel is engine-exact — so a report is bit-identical
+    across [PVTOL_DOMAINS] and both [PVTOL_MC_ENGINE] values. *)
+
+type ci_metric =
+  | Ci_yield  (** uncompensated timing yield *)
+  | Ci_rare   (** P(>= [s_rare] islands violating before compensation) *)
+
+val ci_metric_name : ci_metric -> string
+val ci_metric_of_string : string -> ci_metric option
+
+type sampling_config = {
+  s_method : Pvtol_ssta.Smart_sampling.method_;
+  s_strata : int;          (** strata per axis; [s_strata^2] groups *)
+  s_dies_per_round : int;  (** dies per stratum per round *)
+  s_max_rounds : int;      (** stopping-rule safety budget *)
+  s_ci_target : float;     (** stop when the CI half-width reaches this *)
+  s_ci_metric : ci_metric; (** which metric the stopping rule watches *)
+  s_rare : int;            (** rare scenario: >= this many islands *)
+  s_confidence : float;    (** two-sided CI confidence, e.g. 0.95 *)
+  s_seed : int;
+  s_direction : Island.direction;
+}
+
+val default_sampling_config : sampling_config
+(** mc, 4x4 strata, 16 dies/round, 64 rounds max, +-0.1% yield CI at
+    95%, rare scenario 2, seed 7, vertical slicing. *)
+
+type interval = {
+  mid : float;  (** point estimate *)
+  hw : float;   (** CI half-width; [infinity] until every stratum has
+                    at least two dies *)
+}
+
+type sampling_group = {
+  sg_ix : int;
+  sg_iy : int;
+  sg_dies : int;
+  sg_components : int;     (** IS mixture components at this stratum *)
+  sg_yield_uncompensated : float;
+  sg_rare : float;
+  sg_mean_weight : float;  (** ~1 when the reweighting is honest *)
+  sg_effective_samples : float;
+}
+
+type sampling_report = {
+  sr_config : sampling_config;
+  sr_position : Pvtol_variation.Position.t option;
+      (** [Some p] for a fixed-site {!estimate_at} run *)
+  sr_clock_ns : float;
+  sr_rounds : int;
+  sr_converged : bool;     (** the stopping rule fired (vs budget) *)
+  sr_dies : int;
+  sr_estimate : float;     (** the designated metric's estimate *)
+  sr_ci_halfwidth : float;
+  sr_effective_samples : float;  (** Kish size, summed over strata *)
+  sr_yield_uncompensated : interval;
+  sr_yield_compensated : interval;
+  sr_yield_chip_wide : interval;
+  sr_rare : interval;
+  sr_groups : sampling_group array;
+}
+
+val sampling_config_label : sampling_config -> string
+(** The stage key, e.g. [is-4x4-d16-r64-ci0.001-yield-m2-c0.95-s7-vertical]. *)
+
+type on_round = round:int -> max_rounds:int -> ci_halfwidth:float -> unit
+
+val estimate : ?on_round:on_round -> Flow.t -> sampling_config -> sampling_report
+(** Wafer-mean estimate, memoized on the flow's stage graph as the
+    keyed stage [sampling[<label>]] — {!Compare} and {!Experiments}
+    pick it up like any other stage.  [on_round] fires after every
+    round with the current half-width (only on the force that actually
+    computes). *)
+
+val estimate_run :
+  ?pool:Pvtol_util.Pool.t ->
+  ?on_round:on_round ->
+  Flow.t ->
+  sampling_config ->
+  sampling_report
+(** {!estimate} without the stage-graph memoization, on an explicit
+    pool — the determinism tests re-run the same config on pools of
+    different sizes and compare reports bit for bit. *)
+
+val estimate_at :
+  ?pool:Pvtol_util.Pool.t ->
+  ?on_round:on_round ->
+  Flow.t ->
+  position:Pvtol_variation.Position.t ->
+  sampling_config ->
+  sampling_report
+(** Single-site estimate: every die sits at [position] (no position
+    jitter — only the Lgate randomness varies).  The stratum grid
+    degenerates into independent parallel substreams of the same
+    position, so long brute-force runs still use the pool's full
+    width.  Not memoized; this is the differential oracle's entry
+    point, which wants explicit pools and fresh runs. *)
+
+val pp_sampling : Format.formatter -> sampling_report -> unit
+
+val sampling_to_json : sampling_report -> string
+(** The report as a JSON document; the top level carries
+    [effective_samples] and [ci_halfwidth] alongside the per-metric
+    intervals and per-stratum groups. *)
+
 (** {2 Rendering} *)
 
 type metric =

@@ -51,6 +51,10 @@ type result = {
    matter how many domains execute the fan-out. *)
 let chunk_size = 32
 
+(* Boost-style hash combine, clamped non-negative for Srng.create. *)
+let mix h k = (h lxor (k + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land max_int
+let substream_seed seed keys = List.fold_left mix seed keys
+
 (* The RNG state a serial run would hold when it reaches sample [s0].
    One SplitMix64 draw per Box-Muller uniform lets us jump there in
    O(1): [gaussians] normal deviates consume [2 * ceil (gaussians / 2)]

@@ -34,6 +34,15 @@ val engine_of_env : unit -> engine
     [golden] or [batched] (the default, also used — with a one-shot
     warning — for unrecognised values). *)
 
+val substream_seed : int -> int list -> int
+(** [substream_seed seed keys] folds the boost-style hash combine over
+    [keys] to derive a deterministic, non-negative RNG seed for one
+    substream of a larger experiment (one wafer grid cell, one sampling
+    round at one stratum, ...).  The same root seed and key path always
+    yield the same substream regardless of domain count or visit order
+    — the seeding discipline behind every bit-identical parallel sweep
+    in the library. *)
+
 type stage_stats = {
   stage : Stage.t;
   samples : float array;        (** per-sample worst path delay, ns *)

@@ -22,6 +22,8 @@ module Welford = struct
      [into]; merging a fixed sequence of accumulators in a fixed order
      is therefore bit-deterministic. *)
   let merge ~into src =
+    if into == src then
+      invalid_arg "Stream_stats.Welford.merge: accumulator merged into itself";
     if src.n > 0 then begin
       if into.n = 0 then begin
         into.n <- src.n;
@@ -48,6 +50,17 @@ module Welford = struct
   let stddev t = sqrt (variance t)
   let min t = t.min
   let max t = t.max
+
+  let ci_halfwidth ?(confidence = 0.95) t =
+    if not (confidence > 0.0 && confidence < 1.0) then
+      invalid_arg
+        "Stream_stats.Welford.ci_halfwidth: confidence must be in (0, 1)";
+    if t.n < 2 then infinity
+    else
+      let zc =
+        Specfun.normal_quantile ~mu:0.0 ~sigma:1.0 ((1.0 +. confidence) /. 2.0)
+      in
+      zc *. sqrt (variance t /. float_of_int t.n)
 
   let summary t =
     if t.n = 0 then invalid_arg "Stream_stats.Welford.summary: empty";

@@ -25,7 +25,8 @@ module Welford : sig
   (** Fold the second accumulator into [into] (Chan's parallel update).
       Deterministic: merging the same accumulators in the same order
       always yields the same bits.  [into] and the source must be
-      distinct. *)
+      distinct accumulators; [Invalid_argument] when they are the same
+      physical value (a self-merge would double-count silently). *)
 
   val count : t -> int
   val mean : t -> float
@@ -35,6 +36,13 @@ module Welford : sig
   val stddev : t -> float
   val min : t -> float
   val max : t -> float
+
+  val ci_halfwidth : ?confidence:float -> t -> float
+  (** Normal-theory confidence-interval half-width of the mean,
+      [z * sqrt (variance / n)] at the given two-sided [confidence]
+      (default 0.95).  [infinity] while fewer than two samples have
+      been seen — a sequential stopping rule polling this accessor can
+      never fire on a variance guess of 0. *)
 
   val summary : t -> Stats.summary
   (** Snapshot in the {!Stats.summary} record shape.  Requires at least

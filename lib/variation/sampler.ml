@@ -38,6 +38,15 @@ let sample_lgates t ~systematic rng out =
     out.(i) <- systematic.(i) +. (t.sigma_rnd_nm *. Srng.gaussian rng)
   done
 
+let shifted_systematic t ~systematic ~cells ~dir ~theta ~out =
+  assert (Array.length out = Array.length systematic);
+  assert (Array.length cells = Array.length dir);
+  Array.blit systematic 0 out 0 (Array.length systematic);
+  for k = 0 to Array.length cells - 1 do
+    let i = cells.(k) in
+    out.(i) <- out.(i) +. (t.sigma_rnd_nm *. theta *. dir.(k))
+  done
+
 let delay_scale t ~lgate_nm ~vdd = Process.delay_scale t.process ~vdd ~lgate_nm
 
 let scale_delays t ~base ~lgates ~vdd ~out =

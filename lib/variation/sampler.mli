@@ -32,6 +32,22 @@ val sample_lgates :
   t -> systematic:float array -> Pvtol_util.Srng.t -> float array -> unit
 (** Fill the output array with systematic + fresh random draws. *)
 
+val shifted_systematic :
+  t ->
+  systematic:float array ->
+  cells:int array ->
+  dir:float array ->
+  theta:float ->
+  out:float array ->
+  unit
+(** [out <- systematic] with [sigma_rnd * theta * dir.(k)] added at
+    each [cells.(k)] — a mean shift of the random Lgate component
+    expressed as a modified systematic field.  Because
+    {!sample_lgates} adds the random draw on top of whatever
+    systematic it is given, passing the shifted field to an unchanged
+    die kernel realises the importance-sampling tilt exactly, for both
+    Monte-Carlo engines, without touching their sampling loops. *)
+
 val delay_scale :
   t -> lgate_nm:float -> vdd:float -> float
 (** Delay multiplier relative to the nominal corner. *)

@@ -18,6 +18,7 @@ let () =
       Test_postsilicon.suite;
       Test_compensation.suite;
       Test_engines.suite;
+      Test_sampling.suite;
       Test_properties.suite;
       Test_misc.suite;
     ]

@@ -286,6 +286,58 @@ let prop_welford_merge =
       && W.min wa = W.min whole
       && W.max wa = W.max whole)
 
+let prop_welford_merge_adversarial =
+  (* Pairwise merge vs the serial stream under adversarial orderings:
+     segments of wildly different sizes (including empty and singleton
+     ones) and magnitudes, folded in a shuffled order and also as a
+     balanced tree.  Both must agree with one serial pass. *)
+  QCheck.Test.make ~name:"welford merge survives adversarial orderings"
+    ~count:200
+    QCheck.(
+      pair (int_bound 100_000)
+        (small_list
+           (oneof
+              [ array_of_size Gen.(0 -- 3) (float_range (-1e6) 1e6);
+                array_of_size Gen.(0 -- 40) (float_range (-1e-6) 1e-6);
+                array_of_size Gen.(1 -- 40) (float_range 100.0 1000.0) ])))
+    (fun (seed, segments) ->
+      let module W = Pvtol_util.Stream_stats.Welford in
+      let segments = Array.of_list segments in
+      let whole = W.create () in
+      Array.iter (fun seg -> Array.iter (W.add whole) seg) segments;
+      let acc_of seg =
+        let w = W.create () in
+        Array.iter (W.add w) seg;
+        w
+      in
+      let eq a b =
+        (a = b)
+        || Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs a)
+      in
+      let agrees w =
+        W.count w = W.count whole
+        && eq (W.mean whole) (W.mean w)
+        && eq (W.variance whole) (W.variance w)
+        && (W.count w = 0 || (W.min w = W.min whole && W.max w = W.max whole))
+      in
+      (* Shuffled fold order. *)
+      let order = Array.init (Array.length segments) Fun.id in
+      Srng.shuffle (Srng.create seed) order;
+      let folded = W.create () in
+      Array.iter (fun i -> W.merge ~into:folded (acc_of segments.(i))) order;
+      (* Balanced pairwise tree, original order. *)
+      let rec tree lo hi =
+        if lo >= hi then W.create ()
+        else if hi - lo = 1 then acc_of segments.(lo)
+        else begin
+          let mid = (lo + hi) / 2 in
+          let l = tree lo mid in
+          W.merge ~into:l (tree mid hi);
+          l
+        end
+      in
+      agrees folded && agrees (tree 0 (Array.length segments)))
+
 let prop_p2_exact_small =
   QCheck.Test.make ~name:"p2 is exact for five or fewer samples" ~count:200
     QCheck.(pair (array_of_size Gen.(1 -- 5) (float_range (-10.0) 10.0))
@@ -353,6 +405,7 @@ let suite =
       qcheck prop_island_domains_partition;
       qcheck prop_welford_matches_summarize;
       qcheck prop_welford_merge;
+      qcheck prop_welford_merge_adversarial;
       qcheck prop_p2_exact_small;
       qcheck prop_p2_estimates_quantile;
       qcheck prop_counter_merge;

@@ -148,6 +148,57 @@ let test_stats_welford_matches_direct () =
   check_approx ~eps:1e-9 "welford mean" mean s.Stats.mean;
   check_approx ~eps:1e-7 "welford stddev" (sqrt var) s.Stats.stddev
 
+let test_welford_ci_halfwidth () =
+  let module W = Pvtol_util.Stream_stats.Welford in
+  let w = W.create () in
+  Alcotest.(check bool) "empty is infinite" true (W.ci_halfwidth w = infinity);
+  W.add w 3.0;
+  (* One sample has no variance estimate: the n<2 guard must keep a
+     stopping rule from firing on a variance guess of 0. *)
+  Alcotest.(check bool) "single sample is infinite" true
+    (W.ci_halfwidth w = infinity);
+  let g = Srng.create 11 in
+  let w = W.create () in
+  for _ = 1 to 400 do
+    W.add w (Srng.gaussian g)
+  done;
+  let expect conf =
+    Pvtol_util.Specfun.normal_quantile ~mu:0.0 ~sigma:1.0
+      ((1.0 +. conf) /. 2.0)
+    *. sqrt (W.variance w /. 400.0)
+  in
+  check_approx ~eps:1e-12 "default is 95%" (expect 0.95) (W.ci_halfwidth w);
+  check_approx ~eps:1e-12 "99% widens"
+    (expect 0.99)
+    (W.ci_halfwidth ~confidence:0.99 w);
+  Alcotest.(check bool) "confidence monotone" true
+    (W.ci_halfwidth ~confidence:0.99 w > W.ci_halfwidth ~confidence:0.9 w);
+  Alcotest.check_raises "confidence 0 rejected"
+    (Invalid_argument
+       "Stream_stats.Welford.ci_halfwidth: confidence must be in (0, 1)")
+    (fun () -> ignore (W.ci_halfwidth ~confidence:0.0 w));
+  Alcotest.check_raises "confidence 1 rejected"
+    (Invalid_argument
+       "Stream_stats.Welford.ci_halfwidth: confidence must be in (0, 1)")
+    (fun () -> ignore (W.ci_halfwidth ~confidence:1.0 w))
+
+let test_welford_merge_self_guard () =
+  let module W = Pvtol_util.Stream_stats.Welford in
+  let w = W.create () in
+  W.add w 1.0;
+  W.add w 2.0;
+  Alcotest.check_raises "self-merge rejected"
+    (Invalid_argument
+       "Stream_stats.Welford.merge: accumulator merged into itself")
+    (fun () -> W.merge ~into:w w);
+  (* The guard is physical equality: merging an equal-valued but
+     distinct accumulator is legitimate. *)
+  let w2 = W.create () in
+  W.add w2 1.0;
+  W.add w2 2.0;
+  W.merge ~into:w w2;
+  Alcotest.(check int) "distinct twin merges" 4 (W.count w)
+
 let test_stats_quantile () =
   let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
   check_approx "median" 3.0 (Stats.quantile xs 0.5);
@@ -404,6 +455,9 @@ let suite =
       Alcotest.test_case "srng shuffle permutation" `Quick test_srng_shuffle_permutation;
       Alcotest.test_case "stats known values" `Quick test_stats_known;
       Alcotest.test_case "stats welford" `Quick test_stats_welford_matches_direct;
+      Alcotest.test_case "welford ci halfwidth" `Quick test_welford_ci_halfwidth;
+      Alcotest.test_case "welford merge self guard" `Quick
+        test_welford_merge_self_guard;
       Alcotest.test_case "stats quantile" `Quick test_stats_quantile;
       Alcotest.test_case "stats three sigma" `Quick test_three_sigma;
       Alcotest.test_case "erf values" `Quick test_erf_values;
