@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-mc trace-quick \
-	telemetry-quick fmt-check clean
+.PHONY: all build test bench bench-quick bench-mc bench-compare \
+	trace-quick telemetry-quick fmt-check clean
 
 all: build
 
@@ -25,6 +25,15 @@ bench-quick:
 # MC kernels and their speedup ratio (scaled-down design).
 bench-mc:
 	dune exec bench/main.exe -- --quick kernels-mc
+
+# Perf-regression observatory: regenerate a quick bench into
+# BENCH_new.json and compare it against the committed BENCH_ssta.json
+# baseline (CI-gated comparison, ±10% beyond the combined CIs; exits
+# nonzero on a significant regression and leaves bench-compare.md).
+bench-compare:
+	dune exec bench/main.exe -- --quick kernels --json --out BENCH_new.json
+	dune exec bin/pvtol.exe -- bench compare BENCH_ssta.json \
+	  BENCH_new.json --threshold 10 --out bench-compare.md
 
 # Quick stage-graph trace: runs the scaled-down flow and prints the
 # span report (stage, wall clock, allocation, dependencies) to stderr,

@@ -12,6 +12,7 @@
                                         throughput report
      bench/main.exe kernels --json  -- also write BENCH_ssta.json (perf
                                         trajectory for future changes)
+     bench/main.exe ... --out FILE  -- write the JSON somewhere else
      bench/main.exe kernels-mc      -- only the golden-vs-batched MC
                                         kernels and their speedup ratio
      bench/main.exe --quick ...     -- scaled-down design (fast smoke run)
@@ -25,7 +26,16 @@
    engine is additionally timed end-to-end with a 1-domain pool and with
    the shared pool (PVTOL_DOMAINS / Domain.recommended_domain_count) to
    report the parallel speedup; both runs produce bit-identical
-   samples. *)
+   samples.
+
+   Every timing is statistical: kernels report the OLS point estimate
+   plus a CI half-width over the raw per-sample times, and the
+   throughput sections repeat their runs and report mean +- CI
+   (Stream_stats.Welford).  The JSON file is schema-versioned
+   ("schema": 2, per-kernel {ns, ci, n}) so `pvtol bench compare` can
+   gate regressions against the committed baseline using the CIs
+   rather than bare point estimates.  A kernel without an estimate is
+   a warning and a nonzero exit, not a silent "(no estimate)". *)
 
 module Experiments = Pvtol_core.Experiments
 module Flow = Pvtol_core.Flow
@@ -41,6 +51,9 @@ module Gatesim = Pvtol_power.Gatesim
 module Srng = Pvtol_util.Srng
 module Pool = Pvtol_util.Pool
 module Metrics = Pvtol_util.Metrics
+module Json = Pvtol_util.Json
+module Welford = Pvtol_util.Stream_stats.Welford
+module BC = Pvtol_util.Bench_compare
 module MC = Pvtol_ssta.Monte_carlo
 module Smart_sampling = Pvtol_ssta.Smart_sampling
 module Wafer = Pvtol_core.Wafer
@@ -59,22 +72,58 @@ let context ~quick () =
     c
 
 (* ------------------------------------------------------------------ *)
+(* Repeated statistical timings                                         *)
+
+(* Every throughput section repeats its timed run and reports the mean,
+   the normal-theory CI half-width and the repeat count, so comparisons
+   between bench files can tell a real shift from run-to-run noise. *)
+type tput = { t_mean : float; t_ci : float; t_reps : int }
+
+let tput_of w =
+  let n = Welford.count w in
+  {
+    t_mean = Welford.mean w;
+    t_ci = (if n >= 2 then Welford.ci_halfwidth w else 0.0);
+    t_reps = n;
+  }
+
+(* One warm-up run (cold stage computes, page faults) then [reps] timed
+   repeats folded into a Welford accumulator. *)
+let timed_reps ~reps run =
+  ignore (run ());
+  let w = Welford.create () in
+  for _ = 1 to reps do
+    Welford.add w (run ())
+  done;
+  tput_of w
+
+let tput_json ~rate_key t =
+  Json.Obj
+    [
+      (rate_key, Json.Float t.t_mean);
+      ("ci", Json.Float t.t_ci);
+      ("n", Json.Int t.t_reps);
+    ]
+
+let pp_tput t = Printf.sprintf "%10.1f ± %.1f (n=%d)" t.t_mean t.t_ci t.t_reps
+
+(* ------------------------------------------------------------------ *)
 (* Monte-Carlo throughput: serial vs parallel                           *)
 
 type mc_report = {
   mc_samples : int;
   domains : int;
-  serial_sps : float;    (* samples / second, 1-domain pool *)
-  parallel_sps : float;  (* samples / second, shared pool *)
+  serial : tput;    (* samples / second, 1-domain pool *)
+  parallel : tput;  (* samples / second, shared pool *)
 }
 
-let mc_speedup r = r.parallel_sps /. r.serial_sps
+let mc_speedup r = r.parallel.t_mean /. r.serial.t_mean
 
 let mc_throughput ~quick () =
   let t = context ~quick () in
   let samples = (Flow.config t).Flow.mc_samples in
   let seed = (Flow.config t).Flow.mc_seed in
-  let time_run ~pool =
+  let time_run ~pool () =
     let t0 = Unix.gettimeofday () in
     let r =
       MC.run
@@ -86,21 +135,24 @@ let mc_throughput ~quick () =
     (float_of_int samples /. dt, r)
   in
   let serial_pool = Pool.create ~domains:1 () in
-  let serial_sps, r1 = time_run ~pool:serial_pool in
+  let _, r1 = time_run ~pool:serial_pool () in
+  let serial = timed_reps ~reps:4 (fun () -> fst (time_run ~pool:serial_pool ())) in
   Pool.shutdown serial_pool;
   let pool = Pool.shared () in
-  let parallel_sps, r2 = time_run ~pool in
+  let _, r2 = time_run ~pool () in
   if r1.MC.worst_samples <> r2.MC.worst_samples then
     failwith "mc-parallel: samples differ from the serial engine";
-  { mc_samples = samples; domains = Pool.domains pool; serial_sps; parallel_sps }
+  let parallel = timed_reps ~reps:4 (fun () -> fst (time_run ~pool ())) in
+  { mc_samples = samples; domains = Pool.domains pool; serial; parallel }
 
 let print_mc_report r =
   Printf.printf
     "\nMonte-Carlo SSTA throughput (%d samples, bit-identical results):\n\
-    \  mc-serial    (1 domain)    %10.1f samples/s\n\
-    \  mc-parallel  (%d domains)  %10.1f samples/s\n\
+    \  mc-serial    (1 domain)    %s samples/s\n\
+    \  mc-parallel  (%d domains)  %s samples/s\n\
     \  speedup: %.2fx\n%!"
-    r.mc_samples r.serial_sps r.domains r.parallel_sps (mc_speedup r)
+    r.mc_samples (pp_tput r.serial) r.domains (pp_tput r.parallel)
+    (mc_speedup r)
 
 (* ------------------------------------------------------------------ *)
 (* Wafer-sweep throughput: serial vs parallel, dies / second            *)
@@ -109,11 +161,11 @@ type wafer_report = {
   wafer_dies : int;
   wafer_grid : int * int;
   wafer_domains : int;
-  wafer_serial_dps : float;    (* dies / second, 1-domain pool *)
-  wafer_parallel_dps : float;  (* dies / second, shared pool *)
+  wafer_serial : tput;    (* dies / second, 1-domain pool *)
+  wafer_parallel : tput;  (* dies / second, shared pool *)
 }
 
-let wafer_speedup r = r.wafer_parallel_dps /. r.wafer_serial_dps
+let wafer_speedup r = r.wafer_parallel.t_mean /. r.wafer_serial.t_mean
 
 let wafer_throughput ~quick () =
   let t = context ~quick () in
@@ -122,47 +174,62 @@ let wafer_throughput ~quick () =
     if quick then { Wafer.default_config with Wafer.nx = 6; ny = 6; dies_per_cell = 8 }
     else Wafer.default_config
   in
-  let time_run ~pool =
+  let time_run ~pool () =
     let t0 = Unix.gettimeofday () in
     let s = Wafer.run ~pool t v cfg in
     let dt = Unix.gettimeofday () -. t0 in
     (float_of_int s.Wafer.dies /. dt, s)
   in
   let serial_pool = Pool.create ~domains:1 () in
-  let serial_dps, s1 = time_run ~pool:serial_pool in
+  let _, s1 = time_run ~pool:serial_pool () in
+  let wafer_serial =
+    timed_reps ~reps:2 (fun () -> fst (time_run ~pool:serial_pool ()))
+  in
   Pool.shutdown serial_pool;
   let pool = Pool.shared () in
-  let parallel_dps, s2 = time_run ~pool in
+  let _, s2 = time_run ~pool () in
   if s1 <> s2 then failwith "wafer-parallel: sweep differs from the serial engine";
+  let wafer_parallel = timed_reps ~reps:2 (fun () -> fst (time_run ~pool ())) in
   {
     wafer_dies = s1.Wafer.dies;
     wafer_grid = (cfg.Wafer.nx, cfg.Wafer.ny);
     wafer_domains = Pool.domains pool;
-    wafer_serial_dps = serial_dps;
-    wafer_parallel_dps = parallel_dps;
+    wafer_serial;
+    wafer_parallel;
   }
 
 let print_wafer_report r =
   let nx, ny = r.wafer_grid in
   Printf.printf
     "\nWafer sweep throughput (%dx%d grid, %d dies, bit-identical results):\n\
-    \  wafer-serial    (1 domain)    %10.1f dies/s\n\
-    \  wafer-parallel  (%d domains)  %10.1f dies/s\n\
+    \  wafer-serial    (1 domain)    %s dies/s\n\
+    \  wafer-parallel  (%d domains)  %s dies/s\n\
     \  speedup: %.2fx\n%!"
-    nx ny r.wafer_dies r.wafer_serial_dps r.wafer_domains r.wafer_parallel_dps
-    (wafer_speedup r)
+    nx ny r.wafer_dies (pp_tput r.wafer_serial) r.wafer_domains
+    (pp_tput r.wafer_parallel) (wafer_speedup r)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry overhead: MC throughput with metrics off vs on             *)
 
 type telemetry_report = {
   tel_samples : int;
-  tel_disabled_sps : float;  (* samples / second, metrics disabled *)
-  tel_enabled_sps : float;   (* samples / second, metrics enabled *)
+  tel_disabled : tput;  (* samples / second, metrics disabled *)
+  tel_enabled : tput;   (* samples / second, metrics enabled *)
 }
 
 let telemetry_overhead_pct r =
-  100.0 *. (1.0 -. (r.tel_enabled_sps /. r.tel_disabled_sps))
+  100.0 *. (1.0 -. (r.tel_enabled.t_mean /. r.tel_disabled.t_mean))
+
+(* Half-width of the overhead percentage by first-order error
+   propagation on the ratio of the two means. *)
+let telemetry_noise_pct r =
+  let ratio = r.tel_enabled.t_mean /. r.tel_disabled.t_mean in
+  let rel a = a.t_ci /. a.t_mean in
+  100.0 *. ratio
+  *. sqrt (((rel r.tel_enabled) ** 2.0) +. ((rel r.tel_disabled) ** 2.0))
+
+let telemetry_within_noise r =
+  Float.abs (telemetry_overhead_pct r) <= telemetry_noise_pct r
 
 let telemetry_throughput ~quick () =
   let t = context ~quick () in
@@ -189,42 +256,49 @@ let telemetry_throughput ~quick () =
      be charged its page faults and lazy inits — historically this made
      "enabled" look faster than "disabled").  Then interleave the
      rounds so slow drift (turbo, thermal) hits both modes equally, and
-     keep the best of three per mode. *)
+     accumulate every round into a Welford per mode — the CI half-width
+     is what lets the report say "within noise" instead of printing a
+     meaningless negative overhead. *)
   Metrics.set_enabled false;
   ignore (time_run ());
   Metrics.set_enabled true;
   ignore (time_run ());
-  let tel_disabled_sps = ref 0.0 and tel_enabled_sps = ref 0.0 in
-  let measure enabled acc =
+  let w_disabled = Welford.create () and w_enabled = Welford.create () in
+  let measure enabled w =
     Metrics.set_enabled enabled;
-    acc := Float.max !acc (time_run ())
+    Welford.add w (time_run ())
   in
   for round = 1 to 6 do
     (* Alternate which mode goes first — an even round count, so each
        mode leads exactly half the rounds and within-round drift
        cancels. *)
     if round land 1 = 1 then (
-      measure false tel_disabled_sps;
-      measure true tel_enabled_sps)
+      measure false w_disabled;
+      measure true w_enabled)
     else (
-      measure true tel_enabled_sps;
-      measure false tel_disabled_sps)
+      measure true w_enabled;
+      measure false w_disabled)
   done;
   Metrics.set_enabled was;
   {
     tel_samples = samples;
-    tel_disabled_sps = !tel_disabled_sps;
-    tel_enabled_sps = !tel_enabled_sps;
+    tel_disabled = tput_of w_disabled;
+    tel_enabled = tput_of w_enabled;
   }
 
 let print_telemetry_report r =
   Printf.printf
     "\nTelemetry overhead (Monte-Carlo, %d samples):\n\
-    \  metrics disabled  %10.1f samples/s\n\
-    \  metrics enabled   %10.1f samples/s\n\
-    \  overhead: %.2f%%\n%!"
-    r.tel_samples r.tel_disabled_sps r.tel_enabled_sps
-    (telemetry_overhead_pct r)
+    \  metrics disabled  %s samples/s\n\
+    \  metrics enabled   %s samples/s\n\
+    \  overhead: %s\n%!"
+    r.tel_samples (pp_tput r.tel_disabled) (pp_tput r.tel_enabled)
+    (if telemetry_within_noise r then
+       Printf.sprintf "within noise (%.2f%% ± %.2f%%)"
+         (telemetry_overhead_pct r) (telemetry_noise_pct r)
+     else
+       Printf.sprintf "%.2f%% (noise ±%.2f%%)" (telemetry_overhead_pct r)
+         (telemetry_noise_pct r))
 
 (* ------------------------------------------------------------------ *)
 (* Sampling calibration: samples-to-CI-target, mc vs is vs lhs          *)
@@ -482,6 +556,7 @@ let kernel_estimates ~quick ?(only = fun _ -> true) () =
   let per_run = List.map (fun (name, d, _) -> (name, d)) tests in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
   let instances = [ Instance.monotonic_clock ] in
+  let clock_label = Measure.label Instance.monotonic_clock in
   let rows =
     List.concat_map
       (fun (name, _, fn) ->
@@ -496,9 +571,39 @@ let kernel_estimates ~quick ?(only = fun _ -> true) () =
             let divisor =
               float_of_int (Option.value ~default:1 (List.assoc_opt name per_run))
             in
-            match Bechamel.Analyze.OLS.estimates result with
-            | Some (est :: _) -> (name, Some (est /. divisor)) :: acc
-            | _ -> (name, None) :: acc)
+            (* The OLS slope is the point estimate; the spread of the
+               raw per-sample ns/run values is the noise scale, so the
+               per-kernel CI half-width is what `pvtol bench compare`
+               gates regressions on. *)
+            let w = Welford.create () in
+            (match Hashtbl.find_opt raw name with
+            | Some b ->
+              Array.iter
+                (fun m ->
+                  let runs = Measurement_raw.run m in
+                  if runs > 0.0 then
+                    Welford.add w
+                      (Measurement_raw.get ~label:clock_label m /. runs))
+                b.Benchmark.lr
+            | None -> ());
+            let n = Welford.count w in
+            let ci =
+              let hw = if n >= 2 then Welford.ci_halfwidth w /. divisor else 0.0 in
+              if Float.is_finite hw then hw else 0.0
+            in
+            let point =
+              match Bechamel.Analyze.OLS.estimates result with
+              | Some (est :: _) -> Some (est /. divisor)
+              | _ when n >= 1 -> Some (Welford.mean w /. divisor)
+              | _ -> None
+            in
+            (* The shared JSON emitter rejects non-finite numbers; an
+               estimate that is NaN/inf is no estimate at all. *)
+            let point =
+              Option.bind point (fun e ->
+                  if Float.is_finite e then Some e else None)
+            in
+            (name, Option.map (fun ns -> { BC.ns; ci; n }) point) :: acc)
           results [])
       tests
   in
@@ -513,91 +618,116 @@ let mc_engine_speedup rows =
     (List.assoc_opt "fig3/mc-sample" rows,
      List.assoc_opt "fig3/mc-sample-batched" rows)
   with
-  | Some (Some golden), Some (Some batched) when batched > 0.0 ->
-    Some (golden /. batched)
+  | Some (Some golden), Some (Some batched) when batched.BC.ns > 0.0 ->
+    Some (golden.BC.ns /. batched.BC.ns)
   | _ -> None
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Schema 2: every kernel line is {ns, ci, n} (or null), every
+   throughput section carries its CI, so `pvtol bench compare` can gate
+   regressions statistically instead of on bare point estimates. *)
+let bench_json rows mc wf tel smp =
+  let kernels =
+    List.map
+      (fun (name, est) ->
+        ( name,
+          match est with
+          | None -> Json.Null
+          | Some e ->
+            Json.Obj
+              [
+                ("ns", Json.Float e.BC.ns);
+                ("ci", Json.Float e.BC.ci);
+                ("n", Json.Int e.BC.n);
+              ] ))
+      rows
+  in
+  let nx, ny = wf.wafer_grid in
+  Json.Obj
+    [
+      ("schema", Json.Int 2);
+      ("kernels", Json.Obj kernels);
+      ( "monte_carlo",
+        Json.Obj
+          [
+            ("samples", Json.Int mc.mc_samples);
+            ("domains", Json.Int mc.domains);
+            ("serial", tput_json ~rate_key:"samples_per_sec" mc.serial);
+            ("parallel", tput_json ~rate_key:"samples_per_sec" mc.parallel);
+            ("speedup", Json.Float (mc_speedup mc));
+          ] );
+      ( "wafer",
+        Json.Obj
+          [
+            ("grid", Json.Str (Printf.sprintf "%dx%d" nx ny));
+            ("dies", Json.Int wf.wafer_dies);
+            ("domains", Json.Int wf.wafer_domains);
+            ("serial", tput_json ~rate_key:"dies_per_sec" wf.wafer_serial);
+            ("parallel", tput_json ~rate_key:"dies_per_sec" wf.wafer_parallel);
+            ("speedup", Json.Float (wafer_speedup wf));
+          ] );
+      ( "telemetry",
+        Json.Obj
+          [
+            ("samples", Json.Int tel.tel_samples);
+            ("disabled", tput_json ~rate_key:"samples_per_sec" tel.tel_disabled);
+            ("enabled", tput_json ~rate_key:"samples_per_sec" tel.tel_enabled);
+            ("overhead_pct", Json.Float (telemetry_overhead_pct tel));
+            ("noise_pct", Json.Float (telemetry_noise_pct tel));
+            ("within_noise", Json.Bool (telemetry_within_noise tel));
+          ] );
+      ( "sampling",
+        Json.Obj
+          ([
+             ("position", Json.Str "B");
+             ("rare_scenario", Json.Int 2);
+             ("ci_target", Json.Float smp.sc_target);
+           ]
+          @ List.map
+              (fun l ->
+                ( l.sl_method,
+                  Json.Obj
+                    [
+                      ("dies", Json.Int l.sl_dies);
+                      ("rare", Json.Float l.sl_rare);
+                      ("ci_halfwidth", Json.Float l.sl_hw);
+                      ("dies_to_target", Json.Float l.sl_to_target);
+                    ] ))
+              smp.sc_lines
+          @ [ ("vrf_is_over_mc", Json.Float smp.sc_vrf) ]) );
+      ( "mc_engine_speedup",
+        match mc_engine_speedup rows with
+        | Some s -> Json.Float s
+        | None -> Json.Null );
+    ]
 
 let write_json ~file rows mc wf tel smp =
-  let oc = open_out file in
-  output_string oc "{\n  \"kernels_ns_per_run\": {\n";
-  let n = List.length rows in
-  List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
-        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
-        (if i < n - 1 then "," else ""))
-    rows;
-  output_string oc "  },\n";
-  Printf.fprintf oc
-    "  \"monte_carlo\": {\n\
-    \    \"samples\": %d,\n\
-    \    \"domains\": %d,\n\
-    \    \"serial_samples_per_sec\": %.1f,\n\
-    \    \"parallel_samples_per_sec\": %.1f,\n\
-    \    \"speedup\": %.3f\n\
-    \  },\n"
-    mc.mc_samples mc.domains mc.serial_sps mc.parallel_sps (mc_speedup mc);
-  let nx, ny = wf.wafer_grid in
-  Printf.fprintf oc
-    "  \"wafer\": {\n\
-    \    \"grid\": \"%dx%d\",\n\
-    \    \"dies\": %d,\n\
-    \    \"domains\": %d,\n\
-    \    \"serial_dies_per_sec\": %.1f,\n\
-    \    \"parallel_dies_per_sec\": %.1f,\n\
-    \    \"speedup\": %.3f\n\
-    \  },\n"
-    nx ny wf.wafer_dies wf.wafer_domains wf.wafer_serial_dps
-    wf.wafer_parallel_dps (wafer_speedup wf);
-  Printf.fprintf oc
-    "  \"telemetry\": {\n\
-    \    \"samples\": %d,\n\
-    \    \"disabled_samples_per_sec\": %.1f,\n\
-    \    \"enabled_samples_per_sec\": %.1f,\n\
-    \    \"overhead_pct\": %.3f\n\
-    \  },\n"
-    tel.tel_samples tel.tel_disabled_sps tel.tel_enabled_sps
-    (telemetry_overhead_pct tel);
-  output_string oc "  \"sampling\": {\n";
-  Printf.fprintf oc
-    "    \"position\": \"B\",\n\
-    \    \"rare_scenario\": 2,\n\
-    \    \"ci_target\": %g,\n"
-    smp.sc_target;
-  List.iter
-    (fun l ->
-      (* Always a trailing comma: the vrf line closes the object. *)
-      Printf.fprintf oc
-        "    \"%s\": { \"dies\": %d, \"rare\": %.6f, \"ci_halfwidth\": \
-         %.6f, \"dies_to_target\": %.0f },\n"
-        l.sl_method l.sl_dies l.sl_rare l.sl_hw l.sl_to_target)
-    smp.sc_lines;
-  Printf.fprintf oc "    \"vrf_is_over_mc\": %.3f\n  },\n" smp.sc_vrf;
-  Printf.fprintf oc "  \"mc_engine_speedup\": %s\n}\n"
-    (match mc_engine_speedup rows with
-    | Some s -> Printf.sprintf "%.3f" s
-    | None -> "null");
-  close_out oc;
+  Json.write_file file (bench_json rows mc wf tel smp);
   Printf.printf "[wrote %s]\n%!" file
 
 let print_kernel_rows rows =
-  Printf.printf "\nKernel micro-benchmarks (Bechamel, ns per sample):\n%!";
+  Printf.printf
+    "\nKernel micro-benchmarks (Bechamel, ns per sample, mean ± 95%%-CI):\n%!";
   List.iter
     (fun (name, est) ->
       match est with
-      | Some est -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+      | Some e ->
+        Printf.printf "  %-28s %12.0f ns/run  ± %6.0f  (n=%d)\n%!" name
+          e.BC.ns e.BC.ci e.BC.n
       | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
     rows
+
+(* A kernel without an estimate is a hole in the perf trajectory the
+   observatory tracks: warn on stderr and make the run exit nonzero
+   (after the JSON report has been written, so partial data is kept). *)
+let warn_missing rows =
+  let missing =
+    List.filter_map (fun (n, e) -> if e = None then Some n else None) rows
+  in
+  List.iter
+    (fun n ->
+      Printf.eprintf "bench: warning: kernel %s produced no estimate\n%!" n)
+    missing;
+  missing <> []
 
 let print_engine_speedup rows =
   match mc_engine_speedup rows with
@@ -606,7 +736,7 @@ let print_engine_speedup rows =
       "\nMC engine speedup (golden / batched, per sample): %.2fx\n%!" s
   | None -> ()
 
-let kernels ~quick ~json () =
+let kernels ~quick ~json ~out () =
   let rows = kernel_estimates ~quick () in
   print_kernel_rows rows;
   print_engine_speedup rows;
@@ -618,7 +748,8 @@ let kernels ~quick ~json () =
   print_telemetry_report tel;
   let smp = sampling_calibration ~quick () in
   print_sampling_calibration smp;
-  if json then write_json ~file:"BENCH_ssta.json" rows mc wf tel smp
+  if json then write_json ~file:out rows mc wf tel smp;
+  if warn_missing rows then 1 else 0
 
 (* Just the golden-vs-batched comparison: the four per-sample MC
    kernels and their ratio ([make bench-mc]). *)
@@ -627,7 +758,8 @@ let kernels_mc ~quick () =
     kernel_estimates ~quick ~only:(fun n -> List.mem n mc_kernel_names) ()
   in
   print_kernel_rows rows;
-  print_engine_speedup rows
+  print_engine_speedup rows;
+  if warn_missing rows then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 
@@ -659,14 +791,20 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
+  let rec extract_out acc = function
+    | "--out" :: file :: rest -> (file, List.rev_append acc rest)
+    | x :: rest -> extract_out (x :: acc) rest
+    | [] -> ("BENCH_ssta.json", List.rev acc)
+  in
+  let out, args = extract_out [] args in
   let args = List.filter (fun a -> a <> "--quick" && a <> "--json") args in
   match args with
   | [] ->
     let c = context ~quick () in
     print_string (Experiments.all c);
-    kernels ~quick ~json ()
-  | [ "kernels" ] -> kernels ~quick ~json ()
-  | [ "kernels-mc" ] -> kernels_mc ~quick ()
+    exit (kernels ~quick ~json ~out ())
+  | [ "kernels" ] -> exit (kernels ~quick ~json ~out ())
+  | [ "kernels-mc" ] -> exit (kernels_mc ~quick ())
   | names ->
     List.iter
       (fun name ->

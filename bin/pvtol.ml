@@ -10,6 +10,9 @@ module Compare = Pvtol_core.Compare
 module Compensation = Pvtol_core.Compensation
 module Trace = Pvtol_util.Trace
 module Metrics = Pvtol_util.Metrics
+module Json = Pvtol_util.Json
+module Runinfo = Pvtol_util.Runinfo
+module Bench_compare = Pvtol_util.Bench_compare
 module Vex_core = Pvtol_vex.Vex_core
 module Netlist = Pvtol_netlist.Netlist
 open Cmdliner
@@ -60,6 +63,17 @@ let trace_chrome =
   Arg.(
     value & opt (some string) None & info [ "trace-chrome" ] ~doc ~docv:"FILE")
 
+let run_ledger =
+  let doc =
+    "Write a run ledger to $(docv) after the run: version and git \
+     revision, argv and configuration, wall/CPU time, GC totals, \
+     per-stage time/allocation attribution, pool queue-wait totals and \
+     an MD5 digest of every emitted report.  Render it with \
+     $(b,pvtol report FILE).  Implies metrics collection."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "run-ledger" ] ~doc ~docv:"FILE")
+
 let config_of ~quick ~samples ~seed =
   let base = if quick then Flow.quick_config else Flow.default_config in
   let base =
@@ -69,13 +83,26 @@ let config_of ~quick ~samples ~seed =
 
 (* Run [f] on a fresh flow handle; with [--trace], print the span
    report and write the JSON artifact afterwards (also when a stage
-   fails, so the trace shows how far the run got).  [--metrics-out] and
-   [--trace-chrome] write their artifacts on the same
-   always-also-on-failure basis. *)
+   fails, so the trace shows how far the run got).  [--metrics-out],
+   [--trace-chrome] and [--run-ledger] write their artifacts on the
+   same always-also-on-failure basis.  [f] receives the run-ledger
+   collector so subcommands can digest the reports they emit. *)
 let with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
-    ~trace_chrome f =
-  if metrics_out <> None then Metrics.set_enabled true;
-  let t = Flow.prepare ~config:(config_of ~quick ~samples ~seed) () in
+    ~trace_chrome ~run_ledger f =
+  if metrics_out <> None || run_ledger <> None then Metrics.set_enabled true;
+  let ledger = Runinfo.create () in
+  let config = config_of ~quick ~samples ~seed in
+  Runinfo.add_config ledger "quick" (Json.Bool quick);
+  Runinfo.add_config ledger "mc_samples" (Json.Int config.Flow.mc_samples);
+  Runinfo.add_config ledger "mc_seed" (Json.Int config.Flow.mc_seed);
+  List.iter
+    (fun var ->
+      Runinfo.add_config ledger var
+        (match Sys.getenv_opt var with
+        | Some v -> Json.Str v
+        | None -> Json.Null))
+    [ "PVTOL_DOMAINS"; "PVTOL_MC_ENGINE" ];
+  let t = Flow.prepare ~config () in
   let emit () =
     if trace then begin
       Format.eprintf "%a@?" Trace.pp (Flow.trace t);
@@ -87,33 +114,54 @@ let with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
     | Some file ->
       Trace.write_chrome_json (Flow.trace t) file;
       Format.eprintf "chrome trace written to %s@." file);
-    match metrics_out with
+    (match metrics_out with
     | None -> ()
     | Some file ->
       Metrics.write ~file;
       Format.eprintf "%s@.metrics written to %s@."
         (Metrics.summary_line (Metrics.snapshot ()))
-        file
+        file);
+    match run_ledger with
+    | None -> ()
+    | Some file ->
+      Runinfo.write ~trace:(Flow.trace t) ~metrics:(Metrics.snapshot ()) ledger
+        ~file;
+      Format.eprintf "run ledger written to %s@." file
   in
-  match f t with
+  match f ~ledger t with
   | () -> emit ()
   | exception exn ->
     emit ();
     raise exn
 
+(* Print a rendered report and record its digest in the run ledger, so
+   two runs can be compared result-first. *)
+let emit_report ledger ~name content =
+  Runinfo.add_artifact ledger ~name:("stdout:" ^ name) content;
+  print_string content
+
+(* Write a JSON report string to [file] and digest it. *)
+let write_report ledger ~file content =
+  let oc = open_out file in
+  output_string oc content;
+  close_out oc;
+  Runinfo.add_artifact ledger ~name:file content
+
 (* ------------------------------------------------------------------ *)
 (* Exhibit subcommands                                                  *)
 
 let exhibit_cmd name doc render =
-  let run quick samples seed trace trace_out metrics_out trace_chrome =
+  let run quick samples seed trace trace_out metrics_out trace_chrome
+      run_ledger =
     with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
-      ~trace_chrome (fun t -> print_string (render t))
+      ~trace_chrome ~run_ledger (fun ~ledger t ->
+        emit_report ledger ~name (render t))
   in
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
       const run $ quick $ samples $ seed $ trace_flag $ trace_out
-      $ metrics_out $ trace_chrome)
+      $ metrics_out $ trace_chrome $ run_ledger)
 
 let fig2_cmd =
   let run () = print_string (Experiments.fig2_lgate_map ()) in
@@ -288,11 +336,17 @@ let wafer_cmd =
     let doc = "Maximum sampling rounds before giving up on the CI target." in
     Arg.(value & opt int 64 & info [ "rounds" ] ~doc ~docv:"N")
   in
-  let run quick samples seed trace trace_out metrics_out trace_chrome (nx, ny)
-      dies_per_cell fields wafer_seed direction json_file progress sampler
-      ci_target ci_metric rare_scenario strata rounds =
+  let run quick samples seed trace trace_out metrics_out trace_chrome
+      run_ledger (nx, ny) dies_per_cell fields wafer_seed direction json_file
+      progress sampler ci_target ci_metric rare_scenario strata rounds =
     with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
-      ~trace_chrome (fun t ->
+      ~trace_chrome ~run_ledger (fun ~ledger t ->
+        Runinfo.add_config ledger "sampler"
+          (match sampler with
+          | Some Pvtol_ssta.Smart_sampling.Mc -> Json.Str "mc"
+          | Some Pvtol_ssta.Smart_sampling.Is -> Json.Str "is"
+          | Some Pvtol_ssta.Smart_sampling.Lhs -> Json.Str "lhs"
+          | None -> Json.Null);
         match sampler with
         | Some s_method ->
           let scfg =
@@ -324,13 +378,12 @@ let wafer_cmd =
                   flush stderr)
           in
           let r = Wafer.estimate ?on_round t scfg in
-          Format.printf "%a@." Wafer.pp_sampling r;
+          emit_report ledger ~name:"sampling"
+            (Format.asprintf "%a@." Wafer.pp_sampling r);
           (match json_file with
           | None -> ()
           | Some file ->
-            let oc = open_out file in
-            output_string oc (Wafer.sampling_to_json r);
-            close_out oc;
+            write_report ledger ~file (Wafer.sampling_to_json r);
             Printf.printf "\nsampling report written to %s\n" file)
         | None ->
         let cfg =
@@ -361,18 +414,15 @@ let wafer_cmd =
           end
         in
         let s = Wafer.sweep ?on_cell t cfg in
-        Format.printf "%a@." Wafer.pp s;
-        print_string (Wafer.render_map s Wafer.Yield_uncompensated);
-        print_newline ();
-        print_string (Wafer.render_map s Wafer.Yield_compensated);
-        print_newline ();
-        print_string (Wafer.render_map s Wafer.Mean_raised);
+        emit_report ledger ~name:"wafer"
+          (Format.asprintf "%a@.%s\n%s\n%s" Wafer.pp s
+             (Wafer.render_map s Wafer.Yield_uncompensated)
+             (Wafer.render_map s Wafer.Yield_compensated)
+             (Wafer.render_map s Wafer.Mean_raised));
         match json_file with
         | None -> ()
         | Some file ->
-          let oc = open_out file in
-          output_string oc (Wafer.to_json s);
-          close_out oc;
+          write_report ledger ~file (Wafer.to_json s);
           Printf.printf "\nwafer sweep written to %s\n" file)
   in
   Cmd.v
@@ -385,9 +435,9 @@ let wafer_cmd =
           streaming statistics.")
     Term.(
       const run $ quick $ samples $ seed $ trace_flag $ trace_out
-      $ metrics_out $ trace_chrome $ grid $ dies $ fields $ wafer_seed
-      $ direction $ json_file $ progress $ sampler $ ci_target $ ci_metric
-      $ rare_scenario $ strata $ rounds)
+      $ metrics_out $ trace_chrome $ run_ledger $ grid $ dies $ fields
+      $ wafer_seed $ direction $ json_file $ progress $ sampler $ ci_target
+      $ ci_metric $ rare_scenario $ strata $ rounds)
 
 (* ------------------------------------------------------------------ *)
 (* Strategy comparison                                                  *)
@@ -464,10 +514,10 @@ let compare_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
   let run quick samples seed trace trace_out metrics_out trace_chrome
-      strategies (nx, ny) dies_per_cell fields compare_seed direction
-      json_file =
+      run_ledger strategies (nx, ny) dies_per_cell fields compare_seed
+      direction json_file =
     with_flow ~quick ~samples ~seed ~trace ~trace_out ~metrics_out
-      ~trace_chrome (fun t ->
+      ~trace_chrome ~run_ledger (fun ~ledger t ->
         let cfg =
           {
             Compare.nx;
@@ -480,13 +530,11 @@ let compare_cmd =
           }
         in
         let r = Compare.compare t cfg in
-        print_string (Compare.render r);
+        emit_report ledger ~name:"compare" (Compare.render r);
         match json_file with
         | None -> ()
         | Some file ->
-          let oc = open_out file in
-          output_string oc (Compare.to_json r);
-          close_out oc;
+          write_report ledger ~file (Compare.to_json r);
           Printf.printf "\ncomparison written to %s\n" file)
   in
   Cmd.v
@@ -499,8 +547,8 @@ let compare_cmd =
           overhead per strategy.")
     Term.(
       const run $ quick $ samples $ seed $ trace_flag $ trace_out
-      $ metrics_out $ trace_chrome $ strategies $ grid $ dies $ fields
-      $ compare_seed $ direction $ json_file)
+      $ metrics_out $ trace_chrome $ run_ledger $ strategies $ grid $ dies
+      $ fields $ compare_seed $ direction $ json_file)
 
 (* ------------------------------------------------------------------ *)
 (* Design-file dumps                                                    *)
@@ -510,9 +558,9 @@ let outdir =
   Arg.(value & opt string "." & info [ "o"; "outdir" ] ~doc)
 
 let dump_cmd =
-  let run quick outdir trace trace_out metrics_out trace_chrome =
+  let run quick outdir trace trace_out metrics_out trace_chrome run_ledger =
     with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out ~metrics_out
-      ~trace_chrome (fun t ->
+      ~trace_chrome ~run_ledger (fun ~ledger:_ t ->
         let nl = Flow.netlist t in
         let path name = Filename.concat outdir name in
         Pvtol_stdcell.Liberty.write_file (path "pvtol65lp.lib") nl.Netlist.lib;
@@ -536,24 +584,123 @@ let dump_cmd =
           of the prepared design.")
     Term.(
       const run $ quick $ outdir $ trace_flag $ trace_out $ metrics_out
-      $ trace_chrome)
+      $ trace_chrome $ run_ledger)
 
-let summary_run quick trace trace_out metrics_out trace_chrome =
+let summary_run quick trace trace_out metrics_out trace_chrome run_ledger =
   with_flow ~quick ~samples:None ~seed:None ~trace ~trace_out ~metrics_out
-    ~trace_chrome (fun t ->
-      Format.printf "%a" Netlist.pp_summary (Flow.netlist t);
-      Format.printf "clock: %.3f ns (%.1f MHz)@." (Flow.clock t)
-        (1000.0 /. Flow.clock t);
-      List.iter
-        (fun sc -> Format.printf "%a" Pvtol_ssta.Scenario.pp sc)
-        (Flow.scenarios t))
+    ~trace_chrome ~run_ledger (fun ~ledger t ->
+      emit_report ledger ~name:"summary"
+        (Format.asprintf "%a%s%a"
+           Netlist.pp_summary (Flow.netlist t)
+           (Printf.sprintf "clock: %.3f ns (%.1f MHz)\n" (Flow.clock t)
+              (1000.0 /. Flow.clock t))
+           (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+              Pvtol_ssta.Scenario.pp)
+           (Flow.scenarios t)))
 
 let summary_cmd =
   Cmd.v
     (Cmd.info "summary" ~doc:"Prepared-design summary and scenario ladder.")
     Term.(
       const summary_run $ quick $ trace_flag $ trace_out $ metrics_out
-      $ trace_chrome)
+      $ trace_chrome $ run_ledger)
+
+(* ------------------------------------------------------------------ *)
+(* Run-ledger report and the perf-regression observatory               *)
+
+let report_cmd =
+  let file =
+    let doc = "Run-ledger JSON file written by $(b,--run-ledger)." in
+    Arg.(required & pos 0 (some file) None & info [] ~doc ~docv:"LEDGER")
+  in
+  let run file =
+    match Json.read_file file with
+    | Error e ->
+      Printf.eprintf "pvtol report: %s\n" e;
+      exit 1
+    | Ok j -> (
+      match Runinfo.render j with
+      | Ok md -> print_string md
+      | Error e ->
+        Printf.eprintf "pvtol report: %s: %s\n" file e;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a run ledger (written by $(b,--run-ledger)) as a \
+          human-readable markdown report: run header, configuration, \
+          per-stage attribution, pool totals, metric highlights and \
+          artifact digests.")
+    Term.(const run $ file)
+
+let bench_compare_cmd =
+  let base =
+    let doc = "Baseline $(b,BENCH_ssta.json)." in
+    Arg.(required & pos 0 (some file) None & info [] ~doc ~docv:"BASE")
+  in
+  let next =
+    let doc = "Candidate $(b,BENCH_ssta.json) to compare against BASE." in
+    Arg.(required & pos 1 (some file) None & info [] ~doc ~docv:"NEW")
+  in
+  let threshold =
+    let doc =
+      "Relative regression threshold in percent: a kernel only flags \
+       when its delta exceeds both $(docv) and the combined CI \
+       half-widths of the two runs."
+    in
+    Arg.(
+      value
+      & opt float Bench_compare.default_threshold_pct
+      & info [ "threshold" ] ~doc ~docv:"PCT")
+  in
+  let out =
+    let doc = "Also write the markdown comparison table to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let run base next threshold out =
+    let read name file =
+      match Json.read_file file with
+      | Ok j -> j
+      | Error e ->
+        Printf.eprintf "pvtol bench compare: %s file: %s\n" name e;
+        exit 2
+    in
+    let base_j = read "base" base and next_j = read "new" next in
+    match
+      Bench_compare.compare ~threshold_pct:threshold ~base:base_j ~next:next_j
+        ()
+    with
+    | Error e ->
+      Printf.eprintf "pvtol bench compare: %s\n" e;
+      exit 2
+    | Ok report ->
+      let md = Bench_compare.render report in
+      print_string md;
+      (match out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc md;
+        close_out oc);
+      if Bench_compare.regressions report <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two bench reports kernel by kernel: a kernel is \
+          $(b,regressed)/$(b,improved) only when the delta clears both \
+          the CI half-widths and $(b,--threshold); exits nonzero when \
+          any kernel regressed significantly.")
+    Term.(const run $ base $ next $ threshold $ out)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Perf-regression observatory over the statistical bench \
+          reports ($(b,BENCH_ssta.json)).")
+    [ bench_compare_cmd ]
 
 let main =
   let doc =
@@ -567,8 +714,9 @@ let main =
     ~default:
       Term.(
         const summary_run $ quick $ trace_flag $ trace_out $ metrics_out
-        $ trace_chrome)
-    (Cmd.info "pvtol" ~version:"1.0.0" ~doc)
-    (cmds_exhibits @ [ wafer_cmd; compare_cmd; dump_cmd; summary_cmd ])
+        $ trace_chrome $ run_ledger)
+    (Cmd.info "pvtol" ~version:(Runinfo.version_string ()) ~doc)
+    (cmds_exhibits
+    @ [ wafer_cmd; compare_cmd; dump_cmd; summary_cmd; report_cmd; bench_cmd ])
 
 let () = exit (Cmd.eval main)

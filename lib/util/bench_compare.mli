@@ -1,0 +1,50 @@
+(** Perf-regression observatory: compare two [BENCH_ssta.json] files.
+
+    Each kernel line in a schema-2 bench file carries a mean, a CI
+    half-width and a sample count, so two runs can be compared
+    {e statistically}: a kernel only counts as regressed (or improved)
+    when the delta clears both the relative [threshold_pct] and the
+    combined CI half-widths — a shift that two noisy runs could
+    produce by chance stays "unchanged".  Legacy schema-1 files
+    (bare [kernels_ns_per_run] point estimates) are read with a zero
+    half-width, so only the threshold applies.
+
+    Kernels present on only one side are reported ([Base_only] /
+    [New_only]) but are never regressions — renaming or adding a
+    kernel must not fail the gate. *)
+
+type est = { ns : float; ci : float; n : int }
+(** Mean ns per run, CI half-width (same unit), sample count. *)
+
+type verdict = Regressed | Improved | Unchanged | Base_only | New_only
+
+type line = {
+  name : string;
+  base : est option;
+  next : est option;
+  delta_pct : float option;  (** 100 * (next - base) / base, both sides *)
+  verdict : verdict;
+}
+
+type report = {
+  threshold_pct : float;
+  lines : line list;  (** kernel-name order *)
+}
+
+val default_threshold_pct : float
+(** 2.0 — a delta below ±2% never flags, however tight the CIs. *)
+
+val kernels_of_json : Json.t -> ((string * est) list, string) result
+(** Kernel estimates of one bench file; reads schema 2 ([.kernels])
+    and falls back to schema 1 ([.kernels_ns_per_run]).  Kernels with
+    a null estimate are skipped. *)
+
+val compare : ?threshold_pct:float -> base:Json.t -> next:Json.t ->
+  unit -> (report, string) result
+
+val regressions : report -> string list
+(** Names of the kernels whose verdict is [Regressed]. *)
+
+val render : report -> string
+(** Markdown: a verdict table (base, new, delta, noise bound per
+    kernel) and a one-line summary. *)

@@ -288,6 +288,53 @@ let to_json (snap : snapshot) =
   add "\n}\n";
   Buffer.contents buf
 
+(* The same payload as [to_json], as a tree — the run ledger embeds the
+   snapshot inside a larger document. *)
+let to_value (snap : snapshot) =
+  let counters =
+    List.filter_map
+      (function n, Counter c -> Some (n, Json.Int c) | _ -> None)
+      snap
+  in
+  let gauges =
+    List.filter_map
+      (function n, Gauge g -> Some (n, Json.Float g) | _ -> None)
+      snap
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | n, Histogram h ->
+          let buckets =
+            Array.to_list
+              (Array.mapi
+                 (fun i c ->
+                   let le =
+                     if i < Array.length h.buckets then
+                       Json.Float h.buckets.(i)
+                     else Json.Str "+Inf"
+                   in
+                   Json.Obj [ ("le", le); ("count", Json.Int c) ])
+                 h.counts)
+          in
+          Some
+            ( n,
+              Json.Obj
+                [
+                  ("count", Json.Int h.count);
+                  ("sum", Json.Float h.sum);
+                  ("buckets", Json.List buckets);
+                ] )
+        | _ -> None)
+      snap
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
+
 let to_prometheus (snap : snapshot) =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

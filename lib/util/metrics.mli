@@ -86,6 +86,10 @@ val to_json : snapshot -> string
 (** [{"counters": {..}, "gauges": {..}, "histograms": {..}}]; histogram
     buckets carry non-cumulative counts and a ["+Inf"] overflow. *)
 
+val to_value : snapshot -> Json.t
+(** The {!to_json} payload as a {!Json} tree, for embedding inside a
+    larger document (the run ledger). *)
+
 val to_prometheus : snapshot -> string
 (** Prometheus text exposition format; histogram buckets are
     cumulative with the standard [le] label. *)

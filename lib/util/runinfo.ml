@@ -1,0 +1,325 @@
+type t = {
+  lock : Mutex.t;
+  argv : string list;
+  started_at : float;
+  t0_wall : float;
+  t0_times : Unix.process_times;
+  g0 : Gc.stat;
+  mutable config : (string * Json.t) list;  (* insertion order *)
+  mutable artifacts : (string * string * int) list;  (* reverse order *)
+}
+
+let schema = 1
+let version = "1.1.0"
+
+(* Pin the exact build when the tool runs inside its own checkout; a
+   missing git binary, a non-checkout working directory or any other
+   failure degrades to None rather than a hard error. *)
+let git_describe () =
+  match
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    (line, status)
+  with
+  | line, Unix.WEXITED 0 when String.trim line <> "" -> Some (String.trim line)
+  | _ -> None
+  | exception _ -> None
+
+let version_string () =
+  match git_describe () with
+  | Some g -> Printf.sprintf "%s (git %s)" version g
+  | None -> version
+
+let create ?argv () =
+  let argv =
+    match argv with Some a -> a | None -> Array.to_list Sys.argv
+  in
+  {
+    lock = Mutex.create ();
+    argv;
+    started_at = Unix.gettimeofday ();
+    t0_wall = Unix.gettimeofday ();
+    t0_times = Unix.times ();
+    g0 = Gc.quick_stat ();
+    config = [];
+    artifacts = [];
+  }
+
+let add_config t key v =
+  Mutex.lock t.lock;
+  t.config <- List.remove_assoc key t.config @ [ (key, v) ];
+  Mutex.unlock t.lock
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let add_artifact t ~name content =
+  let entry = (name, digest_hex content, String.length content) in
+  Mutex.lock t.lock;
+  t.artifacts <- entry :: t.artifacts;
+  Mutex.unlock t.lock
+
+let iso8601 epoch =
+  let tm = Unix.gmtime epoch in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let span_json (s : Trace.span) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("deps", Json.List (List.map (fun d -> Json.Str d) s.Trace.deps));
+      ("start_s", Json.Float s.Trace.start_s);
+      ("dur_s", Json.Float s.Trace.dur_s);
+      ("self_s", Json.Float s.Trace.self_s);
+      ("minor_words", Json.Float s.Trace.minor_words);
+      ("major_words", Json.Float s.Trace.major_words);
+      ("promoted_words", Json.Float s.Trace.promoted_words);
+      ("minor_collections", Json.Int s.Trace.minor_collections);
+      ("major_collections", Json.Int s.Trace.major_collections);
+      ("compactions", Json.Int s.Trace.compactions);
+      ("ok", Json.Bool s.Trace.ok);
+      ("domain", Json.Int s.Trace.domain);
+    ]
+
+(* Pool attribution: queue-wait and job-latency totals recovered from
+   the metrics histograms (zero when metrics were disabled or the pool
+   never ran a parallel job). *)
+let pool_json (snap : Metrics.snapshot) =
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Counter c) -> c
+    | _ -> 0
+  in
+  let histo name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Histogram h) -> (h.Metrics.sum, h.Metrics.count)
+    | _ -> (0.0, 0)
+  in
+  let qw_sum, qw_count = histo "pool_queue_wait_seconds" in
+  let job_sum, job_count = histo "pool_job_seconds" in
+  Json.Obj
+    [
+      ("jobs", Json.Int (counter "pool_jobs_total"));
+      ("chunks", Json.Int (counter "pool_chunks_total"));
+      ("queue_wait_s", Json.Float qw_sum);
+      ("queue_waits", Json.Int qw_count);
+      ("job_s", Json.Float job_sum);
+      ("jobs_timed", Json.Int job_count);
+    ]
+
+let to_json ?trace ?metrics t =
+  let wall = Unix.gettimeofday () -. t.t0_wall in
+  let times = Unix.times () in
+  let g1 = Gc.quick_stat () in
+  Mutex.lock t.lock;
+  let config = t.config in
+  let artifacts = List.rev t.artifacts in
+  Mutex.unlock t.lock;
+  let stages =
+    match trace with
+    | None -> []
+    | Some tr -> List.map span_json (Trace.sort_by_start tr)
+  in
+  let metrics_fields =
+    match metrics with
+    | None -> []
+    | Some snap ->
+      [ ("pool", pool_json snap); ("metrics", Metrics.to_value snap) ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Int schema);
+       ("tool", Json.Str "pvtol");
+       ("version", Json.Str version);
+       ( "git",
+         match git_describe () with Some g -> Json.Str g | None -> Json.Null );
+       ("argv", Json.List (List.map (fun a -> Json.Str a) t.argv));
+       ("started_at", Json.Str (iso8601 t.started_at));
+       ("started_at_epoch_s", Json.Float t.started_at);
+       ("config", Json.Obj config);
+       ("wall_s", Json.Float wall);
+       ( "cpu_user_s",
+         Json.Float (times.Unix.tms_utime -. t.t0_times.Unix.tms_utime) );
+       ( "cpu_sys_s",
+         Json.Float (times.Unix.tms_stime -. t.t0_times.Unix.tms_stime) );
+       ( "gc",
+         Json.Obj
+           [
+             ("minor_words", Json.Float (g1.Gc.minor_words -. t.g0.Gc.minor_words));
+             ("major_words", Json.Float (g1.Gc.major_words -. t.g0.Gc.major_words));
+             ( "promoted_words",
+               Json.Float (g1.Gc.promoted_words -. t.g0.Gc.promoted_words) );
+             ( "minor_collections",
+               Json.Int (g1.Gc.minor_collections - t.g0.Gc.minor_collections) );
+             ( "major_collections",
+               Json.Int (g1.Gc.major_collections - t.g0.Gc.major_collections) );
+             ("compactions", Json.Int (g1.Gc.compactions - t.g0.Gc.compactions));
+           ] );
+       ("stages", Json.List stages);
+     ]
+    @ metrics_fields
+    @ [
+        ( "artifacts",
+          Json.List
+            (List.map
+               (fun (name, md5, bytes) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str name);
+                     ("md5", Json.Str md5);
+                     ("bytes", Json.Int bytes);
+                   ])
+               artifacts) );
+      ])
+
+let write ?trace ?metrics t ~file = Json.write_file file (to_json ?trace ?metrics t)
+
+(* ------------------------------------------------------------------ *)
+(* Markdown rendering (pvtol report)                                    *)
+
+let getf j path default =
+  match Option.bind (Json.member path j) Json.to_float with
+  | Some f -> f
+  | None -> default
+
+let gets j path default =
+  match Option.bind (Json.member path j) Json.to_str with
+  | Some s -> s
+  | None -> default
+
+let mwords w = w /. 1_000_000.0
+
+let render j =
+  match (Json.member "schema" j, Json.member "tool" j) with
+  | Some (Json.Int s), Some (Json.Str "pvtol") when s <> schema ->
+    Error
+      (Printf.sprintf "unsupported run-ledger schema %d (this build reads %d)"
+         s schema)
+  | Some (Json.Int _), Some (Json.Str "pvtol") ->
+    let buf = Buffer.create 2048 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let argv =
+      match Option.bind (Json.member "argv" j) Json.to_list with
+      | Some items ->
+        String.concat " "
+          (List.filter_map Json.to_str items)
+      | None -> "?"
+    in
+    add "# pvtol run ledger\n\n";
+    add "- **version:** %s" (gets j "version" "?");
+    (match Option.bind (Json.member "git" j) Json.to_str with
+    | Some g -> add " (git %s)\n" g
+    | None -> add "\n");
+    add "- **command:** `%s`\n" argv;
+    add "- **started:** %s\n" (gets j "started_at" "?");
+    add "- **wall:** %.3f s — **cpu:** %.3f s user + %.3f s sys\n"
+      (getf j "wall_s" 0.0) (getf j "cpu_user_s" 0.0) (getf j "cpu_sys_s" 0.0);
+    (match Json.member "gc" j with
+    | Some gc ->
+      add
+        "- **GC:** %.1f MW minor, %.1f MW major, %.1f MW promoted; %.0f \
+         minor / %.0f major collections, %.0f compactions\n"
+        (mwords (getf gc "minor_words" 0.0))
+        (mwords (getf gc "major_words" 0.0))
+        (mwords (getf gc "promoted_words" 0.0))
+        (getf gc "minor_collections" 0.0)
+        (getf gc "major_collections" 0.0)
+        (getf gc "compactions" 0.0)
+    | None -> ());
+    (* Config table *)
+    (match Option.bind (Json.member "config" j) Json.to_obj with
+    | Some [] | None -> ()
+    | Some fields ->
+      add "\n## Config\n\n| key | value |\n|---|---|\n";
+      List.iter
+        (fun (k, v) ->
+          let s =
+            match v with
+            | Json.Str s -> s
+            | Json.Int i -> string_of_int i
+            | Json.Float f -> Printf.sprintf "%g" f
+            | Json.Bool b -> string_of_bool b
+            | Json.Null -> "-"
+            | _ -> "…"
+          in
+          add "| %s | %s |\n" k s)
+        fields);
+    (* Stage table *)
+    (match Option.bind (Json.member "stages" j) Json.to_list with
+    | Some [] | None -> add "\n(no stages recorded)\n"
+    | Some stages ->
+      add
+        "\n## Stages\n\n| stage | dur (s) | self (s) | minor (MW) | major \
+         (MW) | gcs | domain |\n|---|---:|---:|---:|---:|---:|---:|\n";
+      List.iter
+        (fun s ->
+          add "| %s%s | %.3f | %.3f | %.2f | %.2f | %.0f/%.0f | %.0f |\n"
+            (gets s "name" "?")
+            (match Json.member "ok" s with
+            | Some (Json.Bool false) -> " **[FAILED]**"
+            | _ -> "")
+            (getf s "dur_s" 0.0) (getf s "self_s" 0.0)
+            (mwords (getf s "minor_words" 0.0))
+            (mwords (getf s "major_words" 0.0))
+            (getf s "minor_collections" 0.0)
+            (getf s "major_collections" 0.0)
+            (getf s "domain" 0.0))
+        stages;
+      let total_self =
+        List.fold_left (fun acc s -> acc +. getf s "self_s" 0.0) 0.0 stages
+      in
+      add "\n%d stages, %.3f s total stage self-time.\n" (List.length stages)
+        total_self);
+    (* Pool attribution *)
+    (match Json.member "pool" j with
+    | None -> ()
+    | Some p ->
+      add "\n## Pool\n\n";
+      add "- jobs: %.0f (%.0f chunks)\n" (getf p "jobs" 0.0)
+        (getf p "chunks" 0.0);
+      add "- queue wait: %.3f s total over %.0f waits\n"
+        (getf p "queue_wait_s" 0.0) (getf p "queue_waits" 0.0);
+      add "- job latency: %.3f s total over %.0f timed jobs\n"
+        (getf p "job_s" 0.0) (getf p "jobs_timed" 0.0));
+    (* Metrics highlights: the biggest nonzero counters. *)
+    (match
+       Option.bind (Json.member "metrics" j) (Json.member "counters")
+       |> Fun.flip Option.bind Json.to_obj
+     with
+    | None | Some [] -> ()
+    | Some counters ->
+      let nonzero =
+        List.filter_map
+          (fun (k, v) ->
+            match Json.to_float v with
+            | Some f when f > 0.0 -> Some (k, f)
+            | _ -> None)
+          counters
+      in
+      if nonzero <> [] then begin
+        add "\n## Metrics highlights\n\n";
+        let sorted =
+          List.sort (fun (_, a) (_, b) -> Float.compare b a) nonzero
+        in
+        let top = List.filteri (fun i _ -> i < 12) sorted in
+        List.iter (fun (k, v) -> add "- `%s` = %.0f\n" k v) top;
+        if List.length sorted > List.length top then
+          add "- … %d more nonzero counters in the ledger\n"
+            (List.length sorted - List.length top)
+      end);
+    (* Artifacts *)
+    (match Option.bind (Json.member "artifacts" j) Json.to_list with
+    | Some [] | None -> ()
+    | Some arts ->
+      add "\n## Artifacts\n\n| artifact | bytes | md5 |\n|---|---:|---|\n";
+      List.iter
+        (fun a ->
+          add "| %s | %.0f | `%s` |\n" (gets a "name" "?")
+            (getf a "bytes" 0.0) (gets a "md5" "?"))
+        arts);
+    Ok (Buffer.contents buf)
+  | _ -> Error "not a pvtol run ledger (missing schema/tool fields)"

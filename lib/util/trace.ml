@@ -6,6 +6,10 @@ type span = {
   self_s : float;
   minor_words : float;
   major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
   ok : bool;
   domain : int;
 }
@@ -34,6 +38,10 @@ let child_time : float ref list ref Domain.DLS.key =
 let span t ~name ?(deps = []) f =
   let t0 = now () in
   let g0 = Gc.quick_stat () in
+  (* [quick_stat]'s minor_words only advances at minor collections; the
+     dedicated counter is precise, so short spans still attribute their
+     allocation. *)
+  let mw0 = Gc.minor_words () in
   let nested = Domain.DLS.get child_time in
   let children = ref 0.0 in
   nested := children :: !nested;
@@ -50,8 +58,12 @@ let span t ~name ?(deps = []) f =
         start_s = t0 -. t.created;
         dur_s = dur;
         self_s = Float.max 0.0 (dur -. !children);
-        minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        minor_words = Gc.minor_words () -. mw0;
         major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+        major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+        compactions = g1.Gc.compactions - g0.Gc.compactions;
         ok;
         domain = (Domain.self () :> int);
       }
@@ -99,12 +111,14 @@ let pp fmt t =
   let total = List.fold_left (fun acc s -> acc +. s.self_s) 0.0 spans in
   Format.fprintf fmt "stage trace: %d spans, %.3f s total stage time@."
     (List.length spans) total;
-  Format.fprintf fmt "  %-22s %10s %12s %12s %12s  %s@." "stage" "start" "dur"
-    "self" "major-alloc" "deps";
+  Format.fprintf fmt "  %-22s %10s %12s %12s %12s %8s  %s@." "stage" "start"
+    "dur" "self" "major-alloc" "gcs" "deps";
   List.iter
     (fun s ->
-      Format.fprintf fmt "  %-22s %8.3f s %10.3f s %10.3f s %9.2f MW  %s%s@."
-        s.name s.start_s s.dur_s s.self_s (mwords s.major_words)
+      Format.fprintf fmt
+        "  %-22s %8.3f s %10.3f s %10.3f s %9.2f MW %4d/%-3d  %s%s@." s.name
+        s.start_s s.dur_s s.self_s (mwords s.major_words) s.minor_collections
+        s.major_collections
         (match s.deps with [] -> "-" | ds -> String.concat ", " ds)
         (if s.ok then "" else "  [FAILED]"))
     spans
@@ -131,12 +145,15 @@ let to_json t =
         (Printf.sprintf
            "    {\"name\": \"%s\", \"deps\": [%s], \"start_s\": %.6f, \
             \"dur_s\": %.6f, \"self_s\": %.6f, \"minor_words\": %.0f, \
-            \"major_words\": %.0f, \"ok\": %b, \"domain\": %d}%s\n"
+            \"major_words\": %.0f, \"promoted_words\": %.0f, \
+            \"minor_collections\": %d, \"major_collections\": %d, \
+            \"compactions\": %d, \"ok\": %b, \"domain\": %d}%s\n"
            (json_escape s.name)
            (String.concat ", "
               (List.map (fun d -> "\"" ^ json_escape d ^ "\"") s.deps))
-           s.start_s s.dur_s s.self_s s.minor_words s.major_words s.ok
-           s.domain
+           s.start_s s.dur_s s.self_s s.minor_words s.major_words
+           s.promoted_words s.minor_collections s.major_collections
+           s.compactions s.ok s.domain
            (if i < n - 1 then "," else "")))
     spans;
   Buffer.add_string buf "  ]\n}\n";
@@ -187,9 +204,10 @@ let to_chrome_json t =
           (Printf.sprintf
              ", \"dur\": %.3f, \"cat\": \"stage\", \"args\": {\"deps\": \
               [%s], \"self_us\": %.3f, \"minor_words\": %.0f, \
-              \"major_words\": %.0f, \"ok\": %b}"
+              \"major_words\": %.0f, \"minor_collections\": %d, \
+              \"major_collections\": %d, \"ok\": %b}"
              (s.dur_s *. 1e6) deps (s.self_s *. 1e6) s.minor_words
-             s.major_words s.ok))
+             s.major_words s.minor_collections s.major_collections s.ok))
     spans;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf

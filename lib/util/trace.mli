@@ -18,6 +18,13 @@ type span = {
           the stage's own work *)
   minor_words : float;
   major_words : float;
+  promoted_words : float;
+      (** words promoted minor→major while the span ran *)
+  minor_collections : int;
+      (** minor GCs that completed while the span ran (per-domain
+          counter deltas, like the word counts) *)
+  major_collections : int;
+  compactions : int;
   ok : bool;            (** false if the traced function raised *)
   domain : int;         (** id of the domain that computed the span *)
 }

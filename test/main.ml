@@ -3,6 +3,7 @@ let () =
     [
       Test_util.suite;
       Test_telemetry.suite;
+      Test_observability.suite;
       Test_stage.suite;
       Test_stdcell.suite;
       Test_netlist.suite;

@@ -1,0 +1,342 @@
+(* Observability: the shared JSON tree, trace edge cases, the run
+   ledger and the bench-compare regression gate.  The end-to-end cases
+   drive the installed pvtol binary (a dune dep of this test) so the
+   exit codes the CI gate relies on are pinned here. *)
+
+module Json = Pvtol_util.Json
+module Trace = Pvtol_util.Trace
+module Runinfo = Pvtol_util.Runinfo
+module BC = Pvtol_util.Bench_compare
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Json ---------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a \"quoted\" \\ line\nwith\ttabs and caf\xc3\xa9");
+        ("n", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("whole", Json.Float 3.0);
+        ("b", Json.Bool true);
+        ("null", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Str "x"; Json.Obj [] ]);
+        ("empty", Json.List []);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok v' ->
+    Alcotest.(check string) "round-trip" (Json.to_string v) (Json.to_string v')
+
+let test_json_rejects_nonfinite () =
+  List.iter
+    (fun f ->
+      match Json.to_string (Json.Obj [ ("x", Json.Float f) ]) with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "non-finite float emitted as %s" s)
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_json_parse_escapes () =
+  (match Json.of_string {|"café 😀 \n\t\\"|} with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "escapes decode"
+      "caf\xc3\xa9 \xf0\x9f\x98\x80 \n\t\\" s
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error e -> Alcotest.failf "escape parse failed: %s" e);
+  (match Json.of_string "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.of_string "[1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated list accepted"
+
+let test_json_members () =
+  let j =
+    Result.get_ok (Json.of_string {|{"a": {"b": [1, 2.5]}, "s": "x"}|})
+  in
+  let b = Option.get (Option.bind (Json.member "a" j) (Json.member "b")) in
+  (match Json.to_list b with
+  | Some [ x; y ] ->
+    Alcotest.(check int) "int elt" 1 (Option.get (Json.to_int x));
+    Alcotest.(check (float 1e-9)) "float elt" 2.5
+      (Option.get (Json.to_float y))
+  | _ -> Alcotest.fail "list member lost");
+  Alcotest.(check string) "str member" "x"
+    (Option.get (Option.bind (Json.member "s" j) Json.to_str));
+  Alcotest.(check bool) "missing member" true (Json.member "zz" j = None)
+
+(* --- Trace edge cases ---------------------------------------------- *)
+
+let test_trace_empty () =
+  let t = Trace.create () in
+  let report = Format.asprintf "%a" Trace.pp t in
+  Alcotest.(check bool) "pp total renders" true
+    (String.length report > 0);
+  (match Json.of_string (Trace.to_json t) with
+  | Ok (Json.Obj fields) ->
+    Alcotest.(check bool) "empty spans list" true
+      (List.assoc "spans" fields = Json.List [])
+  | Ok _ -> Alcotest.fail "trace JSON is not an object"
+  | Error e -> Alcotest.failf "empty trace JSON invalid: %s" e);
+  match Json.of_string (Trace.to_chrome_json t) with
+  | Ok (Json.List events) ->
+    (* Only the process-metadata event: no spans, no domain tracks. *)
+    Alcotest.(check int) "metadata only" 1 (List.length events)
+  | Ok _ -> Alcotest.fail "chrome JSON is not an array"
+  | Error e -> Alcotest.failf "empty chrome JSON invalid: %s" e
+
+let test_trace_gc_fields () =
+  let t = Trace.create () in
+  let r =
+    Trace.span t ~name:"alloc" (fun () ->
+        (* Allocate enough to move the minor-words counter for sure. *)
+        let acc = ref [] in
+        for i = 1 to 10_000 do
+          acc := (i, float_of_int i) :: !acc
+        done;
+        List.length !acc)
+  in
+  Alcotest.(check int) "span result" 10_000 r;
+  let s = Option.get (Trace.find t "alloc") in
+  Alcotest.(check bool) "minor words counted" true (s.Trace.minor_words > 0.0);
+  Alcotest.(check bool) "gc counters non-negative" true
+    (s.Trace.minor_collections >= 0
+    && s.Trace.major_collections >= 0
+    && s.Trace.compactions >= 0 && s.Trace.promoted_words >= 0.0);
+  (* The new fields must survive the JSON exporter. *)
+  let j = Result.get_ok (Json.of_string (Trace.to_json t)) in
+  let span_j =
+    match Option.bind (Json.member "spans" j) Json.to_list with
+    | Some [ s ] -> s
+    | _ -> Alcotest.fail "expected exactly one exported span"
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (field ^ " exported") true
+        (Json.member field span_j <> None))
+    [ "promoted_words"; "minor_collections"; "major_collections";
+      "compactions" ]
+
+(* --- Run ledger ---------------------------------------------------- *)
+
+let test_ledger_roundtrip () =
+  let ledger = Runinfo.create ~argv:[ "pvtol"; "test" ] () in
+  Runinfo.add_config ledger "seed" (Json.Int 7);
+  Runinfo.add_config ledger "seed" (Json.Int 9);
+  (* later entry wins *)
+  Runinfo.add_artifact ledger ~name:"stdout:demo" "demo report\n";
+  let trace = Trace.create () in
+  ignore (Trace.span trace ~name:"stage-a" (fun () -> 1 + 1));
+  let j = Runinfo.to_json ~trace ledger in
+  let j' = Result.get_ok (Json.of_string (Json.to_string j)) in
+  Alcotest.(check int) "schema" Runinfo.schema
+    (Option.get (Option.bind (Json.member "schema" j') Json.to_int));
+  Alcotest.(check string) "tool" "pvtol"
+    (Option.get (Option.bind (Json.member "tool" j') Json.to_str));
+  let config = Option.get (Json.member "config" j') in
+  Alcotest.(check int) "config override" 9
+    (Option.get (Option.bind (Json.member "seed" config) Json.to_int));
+  (match Option.bind (Json.member "artifacts" j') Json.to_list with
+  | Some [ a ] ->
+    Alcotest.(check string) "artifact digest"
+      (Runinfo.digest_hex "demo report\n")
+      (Option.get (Option.bind (Json.member "md5" a) Json.to_str));
+    Alcotest.(check int) "artifact bytes" 12
+      (Option.get (Option.bind (Json.member "bytes" a) Json.to_int))
+  | _ -> Alcotest.fail "expected one artifact");
+  (match Option.bind (Json.member "stages" j') Json.to_list with
+  | Some [ s ] ->
+    Alcotest.(check string) "stage name" "stage-a"
+      (Option.get (Option.bind (Json.member "name" s) Json.to_str))
+  | _ -> Alcotest.fail "expected one stage");
+  (* The markdown renderer accepts what the collector wrote... *)
+  (match Runinfo.render j' with
+  | Ok md ->
+    Alcotest.(check bool) "render has stage table" true
+      (String.length md > 0 && contains ~sub:"stage-a" md)
+  | Error e -> Alcotest.failf "render failed: %s" e);
+  (* ...and rejects a value that is not a ledger. *)
+  match Runinfo.render (Json.Obj [ ("schema", Json.Int 999) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "render accepted a non-ledger"
+
+(* End-to-end: the same run under PVTOL_DOMAINS 1/2/4 must produce the
+   same report bytes, so the ledger's artifact digests are identical —
+   the result-first comparison the ledger exists for. *)
+let pvtol_exe = Filename.concat (Filename.concat ".." "bin") "pvtol.exe"
+
+let run_ledger_digests ~domains =
+  let file =
+    Filename.temp_file (Printf.sprintf "pvtol_ledger_%d" domains) ".json"
+  in
+  let cmd =
+    Printf.sprintf "PVTOL_DOMAINS=%d %s validate --quick --run-ledger %s > /dev/null 2>&1"
+      domains (Filename.quote pvtol_exe) (Filename.quote file)
+  in
+  let rc = Sys.command cmd in
+  Alcotest.(check int) (Printf.sprintf "exit (domains=%d)" domains) 0 rc;
+  let j = Result.get_ok (Json.read_file file) in
+  Sys.remove file;
+  match Option.bind (Json.member "artifacts" j) Json.to_list with
+  | Some arts ->
+    List.map
+      (fun a ->
+        ( Option.get (Option.bind (Json.member "name" a) Json.to_str),
+          Option.get (Option.bind (Json.member "md5" a) Json.to_str) ))
+      arts
+  | None -> Alcotest.fail "ledger has no artifacts"
+
+let test_ledger_domain_stability () =
+  let d1 = run_ledger_digests ~domains:1 in
+  Alcotest.(check bool) "at least one artifact" true (d1 <> []);
+  List.iter
+    (fun domains ->
+      let d = run_ledger_digests ~domains in
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "digests stable at %d domains" domains)
+        d1 d)
+    [ 2; 4 ]
+
+(* --- bench compare ------------------------------------------------- *)
+
+let bench_file kernels =
+  Json.Obj
+    [
+      ("schema", Json.Int 2);
+      ( "kernels",
+        Json.Obj
+          (List.map
+             (fun (name, ns, ci, n) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("ns", Json.Float ns);
+                     ("ci", Json.Float ci);
+                     ("n", Json.Int n);
+                   ] ))
+             kernels) );
+    ]
+
+let base_kernels =
+  [ ("alpha", 100.0, 2.0, 30); ("beta", 2000.0, 30.0, 30);
+    ("gamma", 50.0, 1.0, 30) ]
+
+let test_compare_identical () =
+  let b = bench_file base_kernels in
+  let r = Result.get_ok (BC.compare ~base:b ~next:b ()) in
+  Alcotest.(check (list string)) "no regressions" [] (BC.regressions r);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l.BC.name ^ " unchanged") true
+        (l.BC.verdict = BC.Unchanged))
+    r.BC.lines
+
+(* The acceptance case: one kernel inflated 10%, well past its CI,
+   flags exactly that kernel and nothing else. *)
+let test_compare_flags_inflated_kernel () =
+  let next =
+    bench_file
+      (List.map
+         (fun (name, ns, ci, n) ->
+           if name = "beta" then (name, ns *. 1.10, ci, n)
+           else (name, ns, ci, n))
+         base_kernels)
+  in
+  let r =
+    Result.get_ok (BC.compare ~base:(bench_file base_kernels) ~next ())
+  in
+  Alcotest.(check (list string)) "exactly beta" [ "beta" ] (BC.regressions r)
+
+(* A delta inside the combined CI half-widths is noise, not a
+   regression, even when it clears the relative threshold. *)
+let test_compare_ci_gates_noise () =
+  let base = bench_file [ ("noisy", 100.0, 20.0, 5) ] in
+  let next = bench_file [ ("noisy", 110.0, 20.0, 5) ] in
+  let r = Result.get_ok (BC.compare ~base ~next ()) in
+  Alcotest.(check (list string)) "within noise" [] (BC.regressions r)
+
+let test_compare_one_sided () =
+  let base = bench_file (("old-only", 10.0, 0.5, 9) :: base_kernels) in
+  let next = bench_file (("new-only", 10.0, 0.5, 9) :: base_kernels) in
+  let r = Result.get_ok (BC.compare ~base ~next ()) in
+  Alcotest.(check (list string)) "one-sided never regresses" []
+    (BC.regressions r);
+  let verdict name =
+    (List.find (fun l -> l.BC.name = name) r.BC.lines).BC.verdict
+  in
+  Alcotest.(check bool) "base only" true (verdict "old-only" = BC.Base_only);
+  Alcotest.(check bool) "new only" true (verdict "new-only" = BC.New_only)
+
+let test_compare_schema1_fallback () =
+  let legacy =
+    Result.get_ok
+      (Json.of_string
+         {|{"kernels_ns_per_run": {"alpha": 100.0, "beta": 2000.0}}|})
+  in
+  let r = Result.get_ok (BC.compare ~base:legacy ~next:legacy ()) in
+  Alcotest.(check int) "both kernels read" 2 (List.length r.BC.lines);
+  Alcotest.(check (list string)) "self-compare clean" [] (BC.regressions r);
+  match BC.compare ~base:(Json.Obj []) ~next:legacy () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "kernel-free file accepted"
+
+(* The CLI exit codes CI gates on: 0 on a clean compare, 1 on a
+   significant regression. *)
+let test_compare_cli_exit_codes () =
+  let write name j =
+    let file = Filename.temp_file name ".json" in
+    Json.write_file file j;
+    file
+  in
+  let base = write "bench_base" (bench_file base_kernels) in
+  let next =
+    write "bench_next"
+      (bench_file
+         (List.map
+            (fun (name, ns, ci, n) ->
+              if name = "alpha" then (name, ns *. 1.10, ci, n)
+              else (name, ns, ci, n))
+            base_kernels))
+  in
+  let run a b =
+    Sys.command
+      (Printf.sprintf "%s bench compare %s %s > /dev/null 2>&1"
+         (Filename.quote pvtol_exe) (Filename.quote a) (Filename.quote b))
+  in
+  Alcotest.(check int) "self-compare exits 0" 0 (run base base);
+  Alcotest.(check int) "regression exits 1" 1 (run base next);
+  Sys.remove base;
+  Sys.remove next
+
+let suite =
+  ( "observability",
+    [
+      Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json rejects nan/inf" `Quick
+        test_json_rejects_nonfinite;
+      Alcotest.test_case "json escape parsing" `Quick test_json_parse_escapes;
+      Alcotest.test_case "json member access" `Quick test_json_members;
+      Alcotest.test_case "empty trace exports" `Quick test_trace_empty;
+      Alcotest.test_case "span gc deltas" `Quick test_trace_gc_fields;
+      Alcotest.test_case "ledger round-trip" `Quick test_ledger_roundtrip;
+      Alcotest.test_case "ledger digests vs PVTOL_DOMAINS" `Slow
+        test_ledger_domain_stability;
+      Alcotest.test_case "compare: identical files" `Quick
+        test_compare_identical;
+      Alcotest.test_case "compare: inflated kernel flagged" `Quick
+        test_compare_flags_inflated_kernel;
+      Alcotest.test_case "compare: CI gates noise" `Quick
+        test_compare_ci_gates_noise;
+      Alcotest.test_case "compare: one-sided kernels" `Quick
+        test_compare_one_sided;
+      Alcotest.test_case "compare: schema-1 fallback" `Quick
+        test_compare_schema1_fallback;
+      Alcotest.test_case "compare: cli exit codes" `Slow
+        test_compare_cli_exit_codes;
+    ] )
